@@ -1,0 +1,85 @@
+"""Shared infrastructure for the experiment benches.
+
+One full campaign (every tool x every benchmark program x N trials) is run
+once per pytest session and shared by the Figure 4 / Appendix B / RQ-claim
+benches.  Scale is controlled by environment variables so the same benches
+run at laptop scale by default and at paper scale on demand:
+
+    RFF_BENCH_TRIALS   trials per randomized tool     (default 3;  paper 20)
+    RFF_BENCH_BUDGET   schedules per (tool, program)  (default 250; paper ~5 min)
+
+Rendered tables and figures are written to ``results/`` and echoed into the
+pytest terminal summary, so ``pytest benchmarks/ --benchmark-only | tee ...``
+captures every artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+from repro.harness.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.harness.tools import paper_tools
+
+TRIALS = int(os.environ.get("RFF_BENCH_TRIALS", "3"))
+BUDGET = int(os.environ.get("RFF_BENCH_BUDGET", "250"))
+
+#: Heavy subjects get smaller budgets at laptop scale (documented in
+#: DESIGN.md "Scaling note"); remove the overrides for paper-scale runs.
+BUDGET_OVERRIDES = {
+    "SafeStack": min(BUDGET, 80),
+    "RADBench/bug5": min(BUDGET, 120),
+}
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Claim lines accumulated by benches, echoed in the terminal summary.
+_SUMMARY_LINES: list[str] = []
+
+
+def record_artifact(name: str, content: str) -> Path:
+    """Persist a rendered table/figure under results/ and summarise it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    return path
+
+
+def record_claim(line: str) -> None:
+    """Queue one paper-vs-measured claim line for the terminal summary and
+    append it to results/claims.txt (EXPERIMENTS.md source data)."""
+    _SUMMARY_LINES.append(line)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with (RESULTS_DIR / "claims.txt").open("a") as sink:
+        sink.write(line + "\n")
+
+
+@pytest.fixture(scope="session")
+def campaign() -> CampaignResult:
+    """The full RQ1 campaign: 6 tools x 49 programs x TRIALS trials."""
+    programs = [bench.get(name) for name in bench.names()]
+    config = CampaignConfig(
+        trials=TRIALS,
+        budget=BUDGET,
+        base_seed=20240427,
+        budget_overrides=dict(BUDGET_OVERRIDES),
+    )
+    return Campaign(config).run(paper_tools(), programs)
+
+
+def pytest_sessionstart(session):
+    # claims.txt is appended to by record_claim; start each session fresh.
+    stale = RESULTS_DIR / "claims.txt"
+    if stale.exists():
+        stale.unlink()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SUMMARY_LINES:
+        return
+    terminalreporter.section("paper-vs-measured claims")
+    for line in _SUMMARY_LINES:
+        terminalreporter.write_line(line)

@@ -1,0 +1,101 @@
+"""Bench: ablations of RFF's own design choices (DESIGN.md experiment
+index, 'Ablations' row) — each RffConfig knob off, on a probe set where the
+paper's narrative predicts a visible effect:
+
+* no proactive constraints  -> deep reorder bugs become unreachable (RQ2);
+* no greybox feedback       -> corpus never grows, exploration skews (RQ3);
+* no power schedule         -> rare rf classes get no extra energy.
+"""
+
+from __future__ import annotations
+
+from repro import bench
+from repro.core.fuzzer import RffConfig, fuzz
+
+from benchmarks.conftest import TRIALS, record_claim
+
+PROBES = ["CS/reorder_20", "CS/twostage_20", "CB/pbzip2-0.9.4"]
+BUDGET = 300
+
+
+def _schedules_to_bug(config: RffConfig, name: str, trials: int) -> list[int | None]:
+    program = bench.get(name)
+    return [
+        fuzz(program, max_executions=BUDGET, seed=trial, config=config,
+             stop_on_first_crash=True).first_crash_at
+        for trial in range(trials)
+    ]
+
+
+def _found(counts: list[int | None]) -> int:
+    return sum(1 for c in counts if c is not None)
+
+
+def test_constraints_ablation(benchmark):
+    trials = max(TRIALS, 3)
+
+    def run():
+        full = {n: _schedules_to_bug(RffConfig(), n, trials) for n in PROBES}
+        blind = {
+            n: _schedules_to_bug(RffConfig(use_constraints=False), n, trials) for n in PROBES
+        }
+        return full, blind
+
+    full, blind = benchmark.pedantic(run, rounds=1, iterations=1)
+    full_found = sum(_found(v) for v in full.values())
+    blind_found = sum(_found(v) for v in blind.values())
+    record_claim(
+        f"ablation(constraints): bugs found on probe set — full RFF "
+        f"{full_found}/{len(PROBES) * trials} vs constraint-blind {blind_found}"
+    )
+    assert full_found > blind_found, "proactive constraints must matter on deep bugs"
+
+
+def test_feedback_ablation(benchmark):
+    trials = max(TRIALS, 3)
+
+    def run():
+        with_feedback = _schedules_to_bug(RffConfig(), "CS/twostage_20", trials)
+        without = _schedules_to_bug(RffConfig(use_feedback=False), "CS/twostage_20", trials)
+        return with_feedback, without
+
+    with_feedback, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_claim(
+        f"ablation(feedback): twostage_20 schedules-to-bug — with {with_feedback} "
+        f"vs without {without}"
+    )
+    # Feedback must not lose bugs; typically it also finds them sooner.
+    assert _found(with_feedback) >= _found(without)
+
+
+def test_power_schedule_ablation(benchmark):
+    trials = max(TRIALS, 3)
+
+    def run():
+        with_power = _schedules_to_bug(RffConfig(), "CB/pbzip2-0.9.4", trials)
+        without = _schedules_to_bug(RffConfig(use_power_schedule=False), "CB/pbzip2-0.9.4", trials)
+        return with_power, without
+
+    with_power, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_claim(
+        f"ablation(power): pbzip2 schedules-to-bug — with {with_power} vs flat-energy {without}"
+    )
+    assert _found(with_power) >= _found(without) - 1
+
+
+def test_mutation_cap_ablation(benchmark):
+    """An over-tight constraint cap starves the search on multi-constraint
+    bugs; the default cap must do at least as well as cap=1."""
+    trials = max(TRIALS, 3)
+
+    def run():
+        default_cap = _schedules_to_bug(RffConfig(), "CB/pbzip2-0.9.4", trials)
+        tight = _schedules_to_bug(RffConfig(max_constraints=1), "CB/pbzip2-0.9.4", trials)
+        return default_cap, tight
+
+    default_cap, tight = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_claim(
+        f"ablation(cap): pbzip2 — cap=8 {default_cap} vs cap=1 {tight} "
+        "(two-constraint bug needs room to compose)"
+    )
+    assert _found(default_cap) >= _found(tight)

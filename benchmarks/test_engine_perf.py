@@ -1,0 +1,66 @@
+"""Bench: raw engine throughput (true pytest-benchmark timing loops).
+
+Not a paper figure — these keep the substrate honest: executor event
+throughput, fuzzer schedules/second and systematic-exploration cost are the
+quantities that determine how far a fixed wall-clock budget goes, the
+paper's justification for using timeouts rather than schedule counts
+(Section 5.1)."""
+
+from __future__ import annotations
+
+from repro import bench
+from repro.core.fuzzer import RffFuzzer
+from repro.runtime.executor import Executor
+from repro.schedulers.pos import PosPolicy
+from repro.schedulers.random_walk import RandomWalkPolicy
+
+from tests.conftest import make_reorder
+
+
+def test_executor_throughput_small_program(benchmark):
+    program = bench.get("CS/account")
+
+    def run():
+        return Executor(program, RandomWalkPolicy(1)).run().steps
+
+    steps = benchmark(run)
+    assert steps > 0
+
+
+def test_executor_throughput_reorder_100(benchmark):
+    program = bench.get("CS/reorder_100")
+
+    def run():
+        return Executor(program, RandomWalkPolicy(1)).run().steps
+
+    steps = benchmark(run)
+    assert steps > 300
+
+
+def test_pos_policy_overhead(benchmark):
+    program = make_reorder(10)
+
+    def run():
+        return Executor(program, PosPolicy(1)).run().steps
+
+    benchmark(run)
+
+
+def test_rff_fuzzing_throughput(benchmark):
+    program = make_reorder(5)
+
+    def run():
+        fuzzer = RffFuzzer(program, seed=3)
+        return fuzzer.run(20).executions
+
+    executions = benchmark(run)
+    assert executions == 20
+
+
+def test_safestack_execution_cost(benchmark):
+    program = bench.get("SafeStack")
+
+    def run():
+        return Executor(program, PosPolicy(2), max_steps=program.max_steps or 4000).run().steps
+
+    benchmark(run)

@@ -1,0 +1,54 @@
+"""Bench: Figure 4 — cumulative bugs discovered vs log(#schedules) across
+all trials, for every evaluated tool.
+
+Paper claims reproduced in shape:
+* RFF's curve dominates PERIOD and POS at all schedule counts;
+* RFF ends with the most bugs found, POS visibly lower, QL-RF lowest of the
+  randomized tools.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import figure4_ascii, figure4_series
+
+from benchmarks.conftest import record_artifact, record_claim
+
+
+def test_figure4_curves(campaign, benchmark):
+    series = benchmark.pedantic(figure4_series, args=(campaign,), rounds=1, iterations=1)
+    art = figure4_ascii(campaign)
+    record_artifact("figure4.txt", art)
+
+    assert series["RFF"], "RFF found no bugs at all"
+    totals = {tool: (curve[-1][1] if curve else 0) for tool, curve in series.items()}
+    record_claim(
+        "figure4: total bugs across trials — "
+        + ", ".join(f"{tool} {count}" for tool, count in sorted(totals.items()))
+    )
+
+    # Right edge of the figure: RFF >= each baseline in total bugs found.
+    assert totals["RFF"] >= totals["POS"], "RFF should dominate POS (RQ2)"
+    assert totals["RFF"] >= totals["QLearning RF"], "RFF should dominate QL-RF (RQ4)"
+    assert totals["RFF"] >= totals["PERIOD"], "RFF should match/beat PERIOD (RQ1)"
+
+
+def _bugs_by(curve, schedules):
+    found = 0
+    for at, cumulative in curve:
+        if at <= schedules:
+            found = cumulative
+    return found
+
+
+def test_rff_dominates_pos_at_all_scales(campaign, benchmark):
+    series = benchmark.pedantic(figure4_series, args=(campaign,), rounds=1, iterations=1)
+    checkpoints = [1, 3, 10, 30, 100]
+    rff = [_bugs_by(series["RFF"], c) for c in checkpoints]
+    pos = [_bugs_by(series["POS"], c) for c in checkpoints]
+    record_claim(
+        f"figure4: cumulative bugs at schedules {checkpoints} — RFF {rff} vs POS {pos} "
+        "(paper: gap widens with schedule count)"
+    )
+    # The gap must be non-negative everywhere and strictly positive late.
+    assert all(r >= p for r, p in zip(rff, pos))
+    assert rff[-1] > pos[-1]

@@ -1,0 +1,63 @@
+"""Bench: the Section 2 worked example.
+
+Paper claim: "RFF exposes the [reorder_100] bug in about 6 iterations in
+each of the 20 trials", while POS and PCT "struggle to hit the bug in a
+reasonable number of trials"."""
+
+from __future__ import annotations
+
+from repro import bench
+from repro.core.fuzzer import fuzz
+from repro.runtime.executor import Executor
+from repro.schedulers.pct import PctPolicy
+from repro.schedulers.pos import PosPolicy
+
+from benchmarks.conftest import TRIALS, record_claim
+
+
+def _rff_schedules_to_bug(trials: int) -> list[int]:
+    program = bench.get("CS/reorder_100")
+    hits = []
+    for trial in range(trials):
+        report = fuzz(program, max_executions=150, seed=trial, stop_on_first_crash=True)
+        assert report.found_bug, f"RFF missed reorder_100 on trial {trial}"
+        hits.append(report.first_crash_at)
+    return hits
+
+
+def test_rff_finds_reorder_100_in_few_schedules(benchmark):
+    trials = max(TRIALS, 5)
+    hits = benchmark.pedantic(_rff_schedules_to_bug, args=(trials,), rounds=1, iterations=1)
+    mean = sum(hits) / len(hits)
+    record_claim(
+        f"overview (S2): RFF schedules-to-bug on reorder_100 — paper 6±4, "
+        f"measured {mean:.1f} (trials: {hits})"
+    )
+    assert mean <= 20, f"RFF needed {mean:.1f} schedules on average; paper reports ~6"
+
+
+def _baseline_misses(policy_factory, budget: int) -> int:
+    program = bench.get("CS/reorder_100")
+    crashes = 0
+    policy = policy_factory()
+    for _ in range(budget):
+        result = Executor(program, policy).run()
+        crashes += result.crashed
+    return crashes
+
+
+def test_pos_fails_on_reorder_100(benchmark):
+    crashes = benchmark.pedantic(
+        _baseline_misses, args=(lambda: PosPolicy(seed=1), 100), rounds=1, iterations=1
+    )
+    record_claim(f"overview (S2): POS on reorder_100 — paper '-', measured {crashes}/100 schedules hit")
+    assert crashes == 0
+
+
+def test_pct_fails_on_reorder_100(benchmark):
+    # Bug depth >= 101 (Section 2): hopeless for PCT with depth 3.
+    crashes = benchmark.pedantic(
+        _baseline_misses, args=(lambda: PctPolicy(depth=3, seed=1), 100), rounds=1, iterations=1
+    )
+    record_claim(f"overview (S2): PCT3 on reorder_100 — paper 7447* (mostly missed), measured {crashes}/100 hit")
+    assert crashes <= 2

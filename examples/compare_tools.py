@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A laptop-sized rerun of the paper's RQ1 comparison (Figure 4 in
+miniature): every evaluated technique on a representative benchmark slice,
+reporting schedules-to-first-bug and the cumulative-bugs curve.
+
+Run:  python examples/compare_tools.py [--trials N] [--budget B]
+"""
+
+import argparse
+
+from repro import bench
+from repro.harness import (
+    Campaign,
+    CampaignConfig,
+    appendix_b_table,
+    figure4_ascii,
+    paper_tools,
+)
+
+REPRESENTATIVE = [
+    "CB/aget-bug2",                           # trivial for everyone
+    "CS/account",                             # shallow lost update
+    "CS/reorder_10",                          # deep for POS/PCT, easy for RFF
+    "CS/reorder_50",                          # deeper still
+    "CS/twostage_20",                         # lock-padded two-phase bug
+    "CS/deadlock01",                          # ABBA deadlock
+    "ConVul-CVE-Benchmarks/CVE-2016-9806",    # double free
+    "ConVul-CVE-Benchmarks/CVE-2017-15265",   # deep use-after-free
+    "Inspect_benchmarks/qsort_mt",            # lost-wakeup hang
+    "Splash2/lu",                             # shallow numeric race
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--budget", type=int, default=400)
+    args = parser.parse_args()
+
+    programs = [bench.get(name) for name in REPRESENTATIVE]
+    config = CampaignConfig(trials=args.trials, budget=args.budget, base_seed=2024)
+    print(f"running {len(paper_tools())} tools x {len(programs)} programs x "
+          f"{args.trials} trials (budget {args.budget}) ...\n")
+    result = Campaign(config).run(paper_tools(), programs)
+
+    print(appendix_b_table(result))
+    print()
+    print(figure4_ascii(result))
+    print()
+    for tool in result.tools():
+        print(f"{tool:14s} mean bugs found: {result.mean_bugs_found(tool):.1f}/{len(programs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Testing your own concurrent program with the library.
+
+Writes a small banking service with a classic check-then-act overdraft bug,
+expresses it in the runtime's generator DSL, and lets RFF hunt for the
+interleaving that exposes it.  This is the workflow a downstream user
+follows for any program under test.
+
+Run:  python examples/custom_program.py
+"""
+
+from repro import fuzz, program, run_program
+from repro.schedulers import ReplayPolicy
+
+
+def withdraw(t, balance, lock, amount, audit):
+    """Withdraw with a *racy* balance check: the lock only guards the
+    update, not the check — two withdrawals can both pass the check."""
+    current = yield t.read(balance)          # unprotected check ...
+    if current >= amount:
+        yield t.lock(lock)
+        value = yield t.read(balance)
+        yield t.write(balance, value - amount)   # ... protected act
+        yield t.unlock(lock)
+        yield t.add(audit, amount)
+
+
+def auditor(t, balance, audit, opening):
+    total_out = yield t.read(audit)
+    remaining = yield t.read(balance)
+    t.require(remaining >= 0, f"account overdrawn: balance {remaining}")
+    t.require(
+        total_out + remaining <= opening,
+        f"money created: {total_out} out + {remaining} left > {opening}",
+    )
+
+
+@program("example/overdraft", bug_kinds=("assertion",))
+def bank(t):
+    opening = 100
+    balance = t.var("balance", opening)
+    audit = t.var("audit", 0)
+    lock = t.mutex("account")
+    w1 = yield t.spawn(withdraw, balance, lock, 70, audit)
+    w2 = yield t.spawn(withdraw, balance, lock, 70, audit)
+    yield t.join(w1)
+    yield t.join(w2)
+    yield t.spawn(auditor, balance, audit, opening)
+
+
+def main() -> None:
+    print("== fuzzing the overdraft service ==")
+    report = fuzz(bank, max_executions=500, seed=7, stop_on_first_crash=True)
+    if not report.found_bug:
+        print("no bug found (try more schedules)")
+        return
+    crash = report.crashes[0]
+    print(f"bug found after {report.first_crash_at} schedules: {crash.failure}")
+    print(f"exposing abstract schedule: {crash.abstract_schedule}")
+
+    print("\n== the crashing trace, replayed event by event ==")
+    replay = run_program(bank, ReplayPolicy(list(crash.concrete_schedule)))
+    print(replay.trace.format(limit=24))
+
+
+if __name__ == "__main__":
+    main()

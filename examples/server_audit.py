@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Auditing a thread-pool server model end to end.
+
+A miniature connection-handling subsystem — listener, two pool workers, a
+shared connection table and an idle-reaper — with the classic double-close
+defect: the reaper and a worker can both tear down the same connection.
+The script runs the full workflow a maintainer would:
+
+1. fuzz the schedule space with RFF until the crash appears;
+2. minimize the crashing abstract schedule to its essential constraints;
+3. run the dynamic analyses (races, lock discipline, deadlock prediction);
+4. use race-directed confirmation to rediscover the bug from a prediction.
+
+Run:  python examples/server_audit.py
+"""
+
+from repro import fuzz, program, run_program
+from repro.analysis import check_lock_discipline, confirm_races, find_races, predict_deadlocks
+from repro.core.minimize import minimize_schedule
+from repro.schedulers import PosPolicy, ReplayPolicy
+
+
+def listener(t, conn, state, accepted):
+    """Accepts one connection and publishes it in the table."""
+    yield t.heap_write(conn, "fd", 7)
+    yield t.write(state, 1)  # 1 = live
+    yield t.write(accepted, 1)
+
+
+def worker(t, conn, state, lock, served):
+    """Serves the connection, then closes it if still live."""
+    ready = yield t.read(state)
+    if ready != 1:
+        return
+    yield t.heap_read(conn, "fd")
+    yield t.add(served, 1)
+    # Bug: the liveness check and the close are not atomic — the reaper
+    # can slip in between.
+    still_live = yield t.read(state)
+    if still_live == 1:
+        yield t.lock(lock)
+        yield t.free(conn)
+        yield t.write(state, 2)  # 2 = closed
+        yield t.unlock(lock)
+
+
+def reaper(t, conn, state, lock):
+    """Reaps idle connections; uses the same racy check-then-close."""
+    live = yield t.read(state)
+    if live == 1:
+        yield t.lock(lock)
+        yield t.free(conn)
+        yield t.write(state, 2)
+        yield t.unlock(lock)
+
+
+@program("example/server", bug_kinds=("double-free",))
+def server(t):
+    conn = yield t.malloc("conn", fd=0)
+    state = t.var("conn_state", 0)
+    accepted = t.var("accepted", 0)
+    served = t.var("served", 0)
+    lock = t.mutex("table")
+    l = yield t.spawn(listener, conn, state, accepted)
+    w = yield t.spawn(worker, conn, state, lock, served)
+    r = yield t.spawn(reaper, conn, state, lock)
+    yield t.join(l)
+    yield t.join(w)
+    yield t.join(r)
+
+
+def main() -> None:
+    print("== 1. fuzzing the server's schedule space ==")
+    report = fuzz(server, max_executions=2000, seed=11, stop_on_first_crash=True)
+    if not report.found_bug:
+        print("no crash found; try a larger budget")
+        return
+    crash = report.crashes[0]
+    print(f"crash after {report.first_crash_at} schedules: {crash.outcome}")
+    print(f"  {crash.failure}")
+
+    print("\n== 2. minimizing the crashing abstract schedule ==")
+    if len(crash.abstract_schedule) == 0:
+        print("the crash needed no constraints at all (an unconstrained "
+              "schedule already hits it) — nothing to minimize")
+    else:
+        outcome = minimize_schedule(server, crash.abstract_schedule)
+        print(f"{len(outcome.original)} -> {len(outcome.minimized)} constraints "
+              f"(reproduces {outcome.reproduction_rate:.0%}):")
+        print(f"  {outcome.minimized}")
+
+    print("\n== 3. dynamic analyses on a passing schedule ==")
+    passing = None
+    for seed in range(100):
+        candidate = run_program(server, PosPolicy(seed))
+        if not candidate.crashed:
+            passing = candidate
+            break
+    assert passing is not None
+    races = find_races(passing.trace)
+    print(f"happens-before races: {sorted(races.racy_locations) or 'none'}")
+    discipline = check_lock_discipline(passing.trace)
+    print(f"lock-discipline violations: {sorted(discipline.flagged_locations) or 'none'}")
+    deadlocks = predict_deadlocks(passing.trace)
+    print(f"predicted deadlock cycles: {len(deadlocks)}")
+
+    print("\n== 4. race-directed confirmation ==")
+    for result in confirm_races(server, executions=10):
+        status = f"CONFIRMED ({result.crash_outcome})" if result.confirmed else "not confirmed"
+        print(f"  race on {result.location}: {status} after {result.schedules_tried} schedules")
+
+    print("\n== 5. deterministic replay of the original crash ==")
+    replay = run_program(server, ReplayPolicy(list(crash.concrete_schedule)))
+    print(f"replayed outcome: {replay.outcome} (matches: {replay.outcome == crash.outcome})")
+
+
+if __name__ == "__main__":
+    main()

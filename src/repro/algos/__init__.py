@@ -1,0 +1,42 @@
+"""Baseline testing frameworks: systematic exploration, model checking and
+reinforcement learning (paper Section 5.1 baselines)."""
+
+from repro.algos.exploration import (
+    ExplorationReport,
+    ScriptPolicy,
+    StatelessExplorer,
+    StepLog,
+    count_preemptions,
+)
+from repro.algos.modelcheck import ModelChecker, ModelCheckReport, UnsupportedProgram
+from repro.algos.period import PeriodExplorer, PeriodReport
+from repro.algos.qlearning import QLearningRfPolicy, commutative_rf_hash
+from repro.algos.rfdpor import (
+    RfDporExplorer,
+    RfDporReport,
+    concrete_rf_signature,
+    dependency_clocks,
+    immediate_races,
+    reversal_seed,
+)
+
+__all__ = [
+    "ExplorationReport",
+    "ModelCheckReport",
+    "ModelChecker",
+    "PeriodExplorer",
+    "PeriodReport",
+    "QLearningRfPolicy",
+    "RfDporExplorer",
+    "RfDporReport",
+    "ScriptPolicy",
+    "StatelessExplorer",
+    "StepLog",
+    "UnsupportedProgram",
+    "commutative_rf_hash",
+    "concrete_rf_signature",
+    "count_preemptions",
+    "dependency_clocks",
+    "immediate_races",
+    "reversal_seed",
+]

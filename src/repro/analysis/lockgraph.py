@@ -1,0 +1,89 @@
+"""Lock-order-graph deadlock prediction.
+
+Builds the classic lock-acquisition graph from one trace: an edge
+``m1 -> m2`` records that some thread acquired ``m2`` while holding ``m1``.
+A cycle among edges contributed by *different threads* predicts a potential
+ABBA deadlock — even when the observed schedule completed fine.  This is
+the predictive companion to the runtime's built-in deadlock *detector*: the
+detector needs the hang to happen; the predictor implicates it from a
+passing run (paper Section 6, "Dynamic Analyses").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.trace import Trace
+
+
+@dataclass(frozen=True)
+class DeadlockPrediction:
+    """One potential deadlock: a cycle in the lock-order graph."""
+
+    cycle: tuple[str, ...]
+    threads: frozenset[int]
+
+    def __str__(self) -> str:
+        ring = " -> ".join([*self.cycle, self.cycle[0]])
+        who = ", ".join(f"T{tid}" for tid in sorted(self.threads))
+        return f"potential deadlock: {ring} (threads {who})"
+
+
+@dataclass
+class LockGraphReport:
+    predictions: list[DeadlockPrediction] = field(default_factory=list)
+    #: (held, acquired) -> thread ids that created the edge.
+    edges: dict[tuple[str, str], set[int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    @property
+    def has_potential_deadlock(self) -> bool:
+        return bool(self.predictions)
+
+
+class LockGraphAnalyzer:
+    """Builds the lock-order graph and reports inter-thread cycles."""
+
+    def analyze(self, trace: Trace) -> LockGraphReport:
+        """Build the lock-order graph of ``trace`` and report its cycles."""
+        held: dict[int, list[str]] = {}
+        report = LockGraphReport()
+        for event in trace.events:
+            stack = held.setdefault(event.tid, [])
+            if event.kind == "lock" or (event.kind == "trylock" and event.value):
+                for outer in stack:
+                    report.edges.setdefault((outer, event.location), set()).add(event.tid)
+                stack.append(event.location)
+            elif event.kind == "unlock":
+                if event.location in stack:
+                    stack.remove(event.location)
+            elif event.kind == "wait":
+                # Waiting releases the mutex named by the event's aux.
+                if event.aux in stack:
+                    stack.remove(event.aux)
+        graph = nx.DiGraph()
+        for (outer, inner), threads in report.edges.items():
+            graph.add_edge(outer, inner, threads=threads)
+        for cycle in nx.simple_cycles(graph):
+            if len(cycle) < 2:
+                continue
+            contributors: set[int] = set()
+            for index, outer in enumerate(cycle):
+                inner = cycle[(index + 1) % len(cycle)]
+                contributors |= report.edges.get((outer, inner), set())
+            # A cycle one thread creates alone (nested reacquisition in a
+            # consistent order) is not a deadlock between threads.
+            if len(contributors) >= 2:
+                report.predictions.append(
+                    DeadlockPrediction(cycle=tuple(cycle), threads=frozenset(contributors))
+                )
+        return report
+
+
+def predict_deadlocks(trace: Trace) -> LockGraphReport:
+    """One-call API: lock-order cycle prediction over ``trace``."""
+    return LockGraphAnalyzer().analyze(trace)

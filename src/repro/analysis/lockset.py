@@ -1,0 +1,173 @@
+"""Eraser-style lockset analysis (Savage et al., TOCS 1997).
+
+Complementary to happens-before detection: instead of ordering, it checks
+*lock discipline* — every shared, written location should be consistently
+protected by at least one common mutex.  The analysis runs the original
+Eraser state machine per location:
+
+``virgin -> exclusive -> shared -> shared-modified``
+
+* ``exclusive``: only one thread has touched the location; no refinement
+  (initialisation is exempt from the discipline).
+* ``shared``: a second thread *read* it; the candidate lockset is refined
+  but violations are not reported (read-only sharing after initialisation
+  is benign — e.g. a main thread reading results after joins).
+* ``shared-modified``: a second thread *wrote* it; an empty candidate
+  lockset here is reported once.
+
+Lockset analysis is schedule-insensitive, so it implicates discipline
+violations (like the ``wronglock`` family) even on interleavings where
+nothing went wrong.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.trace import Trace
+
+_DATA_PREFIXES = ("var:", "heap:")
+_READ_KINDS = frozenset({"r", "hr"})
+_WRITE_KINDS = frozenset({"w", "hw"})
+
+
+class LocationState(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass(frozen=True)
+class LockDisciplineViolation:
+    """A written-shared location with no consistently held lock."""
+
+    location: str
+    #: Event id of the access that emptied the candidate lockset.
+    at_event: int
+    threads: frozenset[int]
+
+    def __str__(self) -> str:
+        who = ", ".join(f"T{tid}" for tid in sorted(self.threads))
+        return f"{self.location}: no consistent lock (threads {who}, event #{self.at_event})"
+
+
+@dataclass
+class LocksetReport:
+    violations: list[LockDisciplineViolation] = field(default_factory=list)
+    #: Final candidate lockset per location that left the exclusive state.
+    candidate_locksets: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: Final Eraser state per analysed location.
+    states: dict[str, LocationState] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    @property
+    def flagged_locations(self) -> set[str]:
+        return {v.location for v in self.violations}
+
+
+@dataclass
+class _Shadow:
+    state: LocationState = LocationState.VIRGIN
+    first_thread: int | None = None
+    candidates: set[str] | None = None
+    accessors: set[int] = field(default_factory=set)
+    reported: bool = False
+
+
+class LocksetAnalyzer:
+    """Single-pass Eraser over a recorded trace."""
+
+    def analyze(self, trace: Trace) -> LocksetReport:
+        """Run the Eraser state machine over ``trace``."""
+        held: dict[int, set[str]] = {}
+        shadows: dict[str, _Shadow] = {}
+        joined: dict[int, set[int]] = {}
+        report = LocksetReport()
+        for event in trace.events:
+            holder = held.setdefault(event.tid, set())
+            if event.kind == "lock" or (event.kind == "trylock" and event.value):
+                holder.add(event.location)
+                continue
+            if event.kind == "unlock":
+                holder.discard(event.location)
+                continue
+            if event.kind == "wait":
+                # Waiting releases the mutex (named by the event's aux);
+                # the later re-acquire shows up as a separate lock event.
+                holder.discard(event.aux)
+                continue
+            if event.kind == "join" and isinstance(event.aux, int):
+                mine = joined.setdefault(event.tid, set())
+                mine.add(event.aux)
+                mine |= joined.get(event.aux, set())
+                continue
+            is_read = event.kind in _READ_KINDS
+            is_write = event.kind in _WRITE_KINDS
+            if not (is_read or is_write) or not event.location.startswith(_DATA_PREFIXES):
+                continue
+            shadow = shadows.setdefault(event.location, _Shadow())
+            # Join-awareness (the classic Eraser false-positive fix): when
+            # every other thread that ever touched the location has been
+            # joined by the current thread, ownership has transferred — the
+            # location re-enters the exclusive regime.
+            others = shadow.accessors - {event.tid}
+            if others and others <= joined.get(event.tid, set()):
+                shadow.state = LocationState.EXCLUSIVE
+                shadow.first_thread = event.tid
+                shadow.accessors = {event.tid}
+            shadow.accessors.add(event.tid)
+            self._step(shadow, event, holder, report)
+        for location, shadow in shadows.items():
+            report.states[location] = shadow.state
+            if shadow.candidates is not None:
+                report.candidate_locksets[location] = frozenset(shadow.candidates)
+        return report
+
+    def _step(self, shadow: _Shadow, event, holder: set[str], report: LocksetReport) -> None:
+        if shadow.state is LocationState.VIRGIN:
+            shadow.state = LocationState.EXCLUSIVE
+            shadow.first_thread = event.tid
+            # The candidate set starts from the first access's held locks;
+            # it is frozen while the location stays exclusive and refined
+            # again once a second thread arrives.  (Starting from the first
+            # accessor — not the second — is what catches wronglock-style
+            # inconsistent-lock bugs even without overlapping accesses.)
+            shadow.candidates = set(holder)
+            return
+        if shadow.state is LocationState.EXCLUSIVE:
+            if event.tid == shadow.first_thread:
+                return
+            assert shadow.candidates is not None
+            shadow.candidates &= holder
+            shadow.state = (
+                LocationState.SHARED_MODIFIED
+                if event.kind in _WRITE_KINDS
+                else LocationState.SHARED
+            )
+        else:
+            assert shadow.candidates is not None
+            shadow.candidates &= holder
+            if event.kind in _WRITE_KINDS:
+                shadow.state = LocationState.SHARED_MODIFIED
+        if (
+            shadow.state is LocationState.SHARED_MODIFIED
+            and not shadow.candidates
+            and not shadow.reported
+        ):
+            shadow.reported = True
+            report.violations.append(
+                LockDisciplineViolation(
+                    location=event.location,
+                    at_event=event.eid,
+                    threads=frozenset(shadow.accessors),
+                )
+            )
+
+
+def check_lock_discipline(trace: Trace) -> LocksetReport:
+    """One-call API: Eraser lockset analysis of ``trace``."""
+    return LocksetAnalyzer().analyze(trace)

@@ -1,0 +1,54 @@
+"""Vector clocks: the happens-before backbone of the trace analyses."""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """A sparse vector clock over thread ids.
+
+    Immutable-by-convention: analysis code calls :meth:`copy` before
+    mutating a clock it received from elsewhere.
+    """
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: dict[int, int] | None = None):
+        self._clocks: dict[int, int] = dict(clocks or {})
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Advance one thread's component (a new event on that thread)."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum: acquire/join semantics."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def leq(self, other: "VectorClock") -> bool:
+        """``self <= other`` pointwise: self happens-before-or-equals other."""
+        return all(clock <= other._clocks.get(tid, 0) for tid, clock in self._clocks.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self._clocks) | set(other._clocks)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self):  # pragma: no cover - clocks are not hashed
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"T{tid}:{clock}" for tid, clock in sorted(self._clocks.items()))
+        return f"VC({body})"
+
+
+def concurrent(a: VectorClock, b: VectorClock) -> bool:
+    """Neither clock is ordered before the other."""
+    return not a.leq(b) and not b.leq(a)

@@ -1,0 +1,19 @@
+"""Benchmark programs: models of the 49 SCTBench + ConVul subjects."""
+
+from repro.bench.registry import (
+    EXPECTED_PROGRAM_COUNT,
+    all_programs,
+    by_suite,
+    get,
+    mc_supported,
+    names,
+)
+
+__all__ = [
+    "EXPECTED_PROGRAM_COUNT",
+    "all_programs",
+    "by_suite",
+    "get",
+    "mc_supported",
+    "names",
+]

@@ -1,0 +1,115 @@
+"""CB suite: models of the SCTBench ``CB/*`` subjects (Yu & Narayanasamy,
+ISCA 2009 — real-world download/compression tools and JDK classes)."""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, unprotected_add
+from repro.runtime.program import program
+
+
+# ----------------------------------------------------------------------
+# CB/aget-bug2 — signal-handler progress race in the aget downloader
+# ----------------------------------------------------------------------
+def _aget_downloader(t, bwritten, done):
+    # The aget-bug2 defect: completion is signalled *before* the final
+    # byte-count update lands, leaving a wide window of stale progress.
+    yield from unprotected_add(t, bwritten, 4096)
+    yield t.write(done, 1)
+    yield from unprotected_add(t, bwritten, 4096)
+
+
+def _aget_resumer(t, bwritten, done):
+    written = yield t.read(bwritten)
+    finished = yield t.read(done)
+    if finished:
+        t.require(written == 8192, f"resume offset {written} != 8192")
+
+
+@program("CB/aget-bug2", bug_kinds=("assertion",), suite="CB")
+def aget_bug2(t):
+    """aget's resume logic reads ``bwritten`` unsynchronized with the
+    downloader: observing ``done`` before the final byte-count write yields a
+    corrupt resume offset.  Shallow — every tool finds it immediately."""
+    bwritten = t.var("bwritten", 0)
+    done = t.var("done", 0)
+    d = yield t.spawn(_aget_downloader, bwritten, done)
+    r = yield t.spawn(_aget_resumer, bwritten, done)
+    yield t.join(d)
+    yield t.join(r)
+
+
+# ----------------------------------------------------------------------
+# CB/pbzip2-0.9.4 — main frees the work queue while a consumer still runs
+# ----------------------------------------------------------------------
+def _pbzip_consumer(t, fifo, done):
+    # A long decompression phase: main's done-check almost always races
+    # ahead of it and reads 0 (no teardown, no crash).
+    yield from busywork(t, done, 10)
+    yield t.heap_read(fifo, "block")
+    # The defect: the consumer marks itself done one access too early and
+    # clears the flag afterwards, leaving a one-event window in which main
+    # may tear the queue down.
+    yield t.write(done, 1)
+    yield t.heap_read(fifo, "empty")
+    yield t.write(done, 0)
+
+
+@program("CB/pbzip2-0.9.4", bug_kinds=("use-after-free",), suite="CB")
+def pbzip2(t):
+    """pbzip2 0.9.4: main destroys the FIFO once it observes *both*
+    consumers' transient done flags — each raised one queue access too
+    early.  Both flag reads must land inside their one-event windows
+    simultaneously, which random schedulers essentially never achieve; RFF
+    reaches it by mutating toward the two done-flag reads-from pairs."""
+    fifo = yield t.malloc("fifo", block=1, empty=0)
+    done1 = t.var("consumer1_done", 0)
+    done2 = t.var("consumer2_done", 0)
+    progress = t.var("progress", 0)
+    yield t.spawn(_pbzip_consumer, fifo, done1)
+    yield t.spawn(_pbzip_consumer, fifo, done2)
+    yield from unprotected_add(t, progress, 1)
+    yield from unprotected_add(t, progress, 1)
+    finished1 = yield t.read(done1)
+    finished2 = yield t.read(done2)
+    if finished1 and finished2:
+        yield t.free(fifo)
+
+
+# ----------------------------------------------------------------------
+# CB/stringbuffer-jdk1.4 — the JDK 1.4 StringBuffer atomicity violation
+# ----------------------------------------------------------------------
+def _sb_eraser(t, lock, length):
+    yield t.lock(lock)
+    yield t.write(length, 0)
+    yield t.unlock(lock)
+
+
+def _sb_appender(t, lock, length):
+    # append(sb) reads the length in one synchronized block ...
+    yield t.lock(lock)
+    expected = yield t.read(length)
+    yield t.unlock(lock)
+    yield from busywork(t, length, 2)
+    # ... and copies characters in another: the eraser can run in between.
+    yield t.lock(lock)
+    actual = yield t.read(length)
+    yield t.unlock(lock)
+    t.require(actual >= expected, f"getChars: length shrank {expected} -> {actual}")
+
+
+@program("CB/stringbuffer-jdk1.4", bug_kinds=("assertion",), suite="CB")
+def stringbuffer(t):
+    """JDK 1.4 StringBuffer.append: length is read and used in two separate
+    synchronized sections, so a concurrent delete between them causes an
+    out-of-bounds copy."""
+    lock = t.mutex("sb")
+    length = t.var("length", 4)
+    a = yield t.spawn(_sb_appender, lock, length)
+    e = yield t.spawn(_sb_eraser, lock, length)
+    yield t.join(a)
+    yield t.join(e)
+
+
+def cb_programs():
+    """All 3 CB/* models in Appendix B order."""
+    return [aget_bug2, pbzip2, stringbuffer]

@@ -1,0 +1,190 @@
+"""Chess suite: models of the CHESS work-stealing-queue subjects
+(Musuvathi et al., OSDI 2008).
+
+All four variants share the same skeleton — an owner thread pushing and
+popping at the tail of a deque while a thief steals from the head — and
+differ, like the originals, in which synchronization primitive guards the
+take: plain loads/stores (WorkStealQueue), interlocked CAS on the head
+(Interlocked*), or a per-item state array (State*).  The oracle is the
+work-stealing invariant: every item is executed exactly once."""
+
+from __future__ import annotations
+
+from repro.bench.common import join_all, unprotected_add
+from repro.runtime.program import program
+
+_ITEMS = 2
+
+
+def _take(t, takes, item_value):
+    """Mark one item as executed (racy increment of its take counter)."""
+    yield from unprotected_add(t, takes[item_value - 1], 1)
+
+
+def _check_takes(t, takes):
+    """The exactly-once invariant, asserted by main after both workers."""
+    for i, counter in enumerate(takes):
+        count = yield t.read(counter)
+        t.require(count <= 1, f"item {i + 1} executed {count} times")
+
+
+# ----------------------------------------------------------------------
+# Chess/WorkStealQueue — plain loads/stores (the THE-protocol race)
+# ----------------------------------------------------------------------
+def _wsq_owner(t, items, head, tail, takes):
+    for i, slot in enumerate(items):
+        yield t.write(slot, i + 1)
+        yield t.write(tail, i + 1)
+    for _ in items:
+        position = yield t.read(tail)
+        position -= 1
+        yield t.write(tail, position)
+        limit = yield t.read(head)
+        if limit <= position:
+            value = yield t.read(items[position])
+            yield from _take(t, takes, value)
+        else:
+            yield t.write(tail, limit)
+
+
+def _wsq_thief(t, items, head, tail, takes):
+    for _ in items:
+        position = yield t.read(head)
+        limit = yield t.read(tail)
+        if position < limit:
+            value = yield t.read(items[position])
+            yield t.write(head, position + 1)
+            yield from _take(t, takes, value)
+
+
+@program("Chess/WorkStealQueue", bug_kinds=("assertion",), suite="Chess")
+def workstealqueue(t):
+    """The classic unsynchronized deque: when one item remains, pop and
+    steal can both pass their emptiness checks and take the same item."""
+    items = [t.var(f"item{i}", 0) for i in range(_ITEMS)]
+    takes = [t.var(f"take{i}", 0) for i in range(_ITEMS)]
+    head = t.var("head", 0)
+    tail = t.var("tail", 0)
+    o = yield t.spawn(_wsq_owner, items, head, tail, takes)
+    s = yield t.spawn(_wsq_thief, items, head, tail, takes)
+    yield from join_all(t, [o, s])
+    yield from _check_takes(t, takes)
+
+
+# ----------------------------------------------------------------------
+# Chess/InterlockedWorkStealQueue — CAS-guarded steal, unguarded pop
+# ----------------------------------------------------------------------
+def _iwsq_owner(t, items, head, tail, takes):
+    for i, slot in enumerate(items):
+        yield t.write(slot, i + 1)
+        yield t.write(tail, i + 1)
+    for _ in items:
+        position = yield t.read(tail)
+        position -= 1
+        if position < 0:
+            break
+        yield t.write(tail, position)
+        # The interlocked variant's pop trusts the tail alone — the steal's
+        # CAS protects thieves from each other, not from the owner.
+        value = yield t.read(items[position])
+        if value:
+            yield from _take(t, takes, value)
+
+
+def _iwsq_thief(t, items, head, tail, takes):
+    for _ in items:
+        position = yield t.read(head)
+        limit = yield t.read(tail)
+        if position < limit:
+            won = yield t.cas(head, position, position + 1)
+            if won:
+                value = yield t.read(items[position])
+                yield from _take(t, takes, value)
+
+
+@program("Chess/InterlockedWorkStealQueue", bug_kinds=("assertion",), suite="Chess")
+def interlocked_workstealqueue(t):
+    """CAS serializes thieves, but the owner's pop never re-checks the head:
+    the last item is routinely taken by both sides — a very wide race."""
+    items = [t.var(f"item{i}", 0) for i in range(_ITEMS)]
+    takes = [t.var(f"take{i}", 0) for i in range(_ITEMS)]
+    head = t.var("head", 0)
+    tail = t.var("tail", 0)
+    o = yield t.spawn(_iwsq_owner, items, head, tail, takes)
+    s = yield t.spawn(_iwsq_thief, items, head, tail, takes)
+    yield from join_all(t, [o, s])
+    yield from _check_takes(t, takes)
+
+
+# ----------------------------------------------------------------------
+# Chess/StateWorkStealQueue — per-item state array, check-then-act
+# ----------------------------------------------------------------------
+def _swsq_worker(t, states, takes, order):
+    for index in order:
+        state = yield t.read(states[index])
+        if state == 0:
+            yield t.write(states[index], 1)
+            yield from _take(t, takes, index + 1)
+
+
+@program("Chess/StateWorkStealQueue", bug_kinds=("assertion",), suite="Chess")
+def state_workstealqueue(t):
+    """Item ownership tracked in a state array with a non-atomic
+    check-then-act: two workers can both claim the same item."""
+    states = [t.var(f"state{i}", 0) for i in range(_ITEMS)]
+    takes = [t.var(f"take{i}", 0) for i in range(_ITEMS)]
+    o = yield t.spawn(_swsq_worker, states, takes, list(range(_ITEMS)))
+    s = yield t.spawn(_swsq_worker, states, takes, list(reversed(range(_ITEMS))))
+    yield from join_all(t, [o, s])
+    yield from _check_takes(t, takes)
+
+
+# ----------------------------------------------------------------------
+# Chess/InterlockedWorkStealQueueWithState — CAS states + stale size check
+# ----------------------------------------------------------------------
+def _iswsq_owner(t, states, takes, size):
+    for index in range(_ITEMS):
+        won = yield t.cas(states[index], 0, 1)
+        if won:
+            yield from unprotected_add(t, size, -1)
+            yield from _take(t, takes, index + 1)
+
+
+def _iswsq_thief(t, states, takes, size):
+    for index in reversed(range(_ITEMS)):
+        remaining = yield t.read(size)
+        if remaining <= 0:
+            return
+        won = yield t.cas(states[index], 0, 1)
+        if won:
+            yield from unprotected_add(t, size, -1)
+            yield from _take(t, takes, index + 1)
+
+
+@program("Chess/InterlockedWorkStealQueueWithState", bug_kinds=("assertion",), suite="Chess")
+def interlocked_workstealqueue_with_state(t):
+    """Item states are CASed, but the shared size counter is maintained with
+    plain read-modify-writes: a lost update corrupts the accounting that the
+    final invariant checks."""
+    states = [t.var(f"state{i}", 0) for i in range(_ITEMS)]
+    takes = [t.var(f"take{i}", 0) for i in range(_ITEMS)]
+    size = t.var("size", _ITEMS)
+    o = yield t.spawn(_iswsq_owner, states, takes, size)
+    s = yield t.spawn(_iswsq_thief, states, takes, size)
+    yield from join_all(t, [o, s])
+    yield from _check_takes(t, takes)
+    remaining = yield t.read(size)
+    taken = 0
+    for counter in takes:
+        taken += yield t.read(counter)
+    t.require(remaining == _ITEMS - taken, f"size {remaining} vs {taken} takes")
+
+
+def chess_programs():
+    """All 4 Chess/* models in Appendix B order."""
+    return [
+        interlocked_workstealqueue,
+        interlocked_workstealqueue_with_state,
+        state_workstealqueue,
+        workstealqueue,
+    ]

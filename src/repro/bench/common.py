@@ -1,0 +1,69 @@
+"""Reusable building blocks for benchmark programs.
+
+Each helper is a sub-generator used with ``yield from``; the executor follows
+``yield from`` delegation when deriving code-location labels, so events
+issued inside a helper get the *helper's* source line — shared across all
+call sites, exactly like a C helper function in the original benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.api import Api
+from repro.runtime.objects import Mutex, SharedVar
+
+
+def locked_add(t: Api, mutex: Mutex, var: SharedVar, delta: Any):
+    """``lock; var += delta; unlock`` — the canonical protected update."""
+    yield t.lock(mutex)
+    old = yield t.read(var)
+    yield t.write(var, old + delta)
+    yield t.unlock(mutex)
+    return old + delta
+
+
+def locked_write(t: Api, mutex: Mutex, var: SharedVar, value: Any):
+    """``lock; var = value; unlock``."""
+    yield t.lock(mutex)
+    yield t.write(var, value)
+    yield t.unlock(mutex)
+
+
+def locked_read(t: Api, mutex: Mutex, var: SharedVar):
+    """``lock; v = var; unlock; return v``."""
+    yield t.lock(mutex)
+    value = yield t.read(var)
+    yield t.unlock(mutex)
+    return value
+
+
+def unprotected_add(t: Api, var: SharedVar, delta: Any):
+    """A racy read-then-write increment (the classic lost-update pattern)."""
+    old = yield t.read(var)
+    yield t.write(var, old + delta)
+    return old + delta
+
+
+def busywork(t: Api, var: SharedVar, rounds: int):
+    """``rounds`` benign shared reads: padding that stretches the window
+    between the interesting events, like the real benchmarks' I/O and
+    computation phases.  Adds events (and rf pairs) without affecting
+    program logic."""
+    for _ in range(rounds):
+        yield t.read(var)
+
+
+def spawn_all(t: Api, fn, count: int, *args):
+    """Spawn ``count`` copies of ``fn(*args)``; returns their handles."""
+    handles = []
+    for _ in range(count):
+        handle = yield t.spawn(fn, *args)
+        handles.append(handle)
+    return handles
+
+
+def join_all(t: Api, handles):
+    """Join every handle in order."""
+    for handle in handles:
+        yield t.join(handle)

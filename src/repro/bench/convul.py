@@ -1,0 +1,354 @@
+"""ConVul suite: models of the 10 CVE subjects (Cai et al. — real-world
+kernel/browser concurrency vulnerabilities).
+
+Every model preserves the vulnerability *class* (use-after-free, double
+free, null dereference) and the ordering structure that triggers it: a
+pointer is published through a shared variable, one thread tears the object
+down, and another dereferences a stale copy.  The runtime's model heap
+(:mod:`repro.runtime.objects`) provides the crash oracles."""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, unprotected_add
+from repro.runtime.program import program
+
+
+# ----------------------------------------------------------------------
+# CVE-2009-3547 — pipe_rdwr_open NULL dereference (wide window)
+# ----------------------------------------------------------------------
+def _pipe_opener(t, inode_ptr):
+    pipe = yield t.read(inode_ptr)
+    yield from busywork(t, inode_ptr, 1)
+    yield t.heap_read(pipe, "readers")
+
+
+def _pipe_releaser(t, inode_ptr):
+    yield t.write(inode_ptr, None)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2009-3547", bug_kinds=("null-dereference",), suite="ConVul")
+def cve_2009_3547(t):
+    """pipe release NULLs ``inode->i_pipe`` while open dereferences it."""
+    pipe = yield t.malloc("pipe", readers=1)
+    inode_ptr = t.var("i_pipe", pipe)
+    o = yield t.spawn(_pipe_opener, inode_ptr)
+    r = yield t.spawn(_pipe_releaser, inode_ptr)
+    yield t.join(o)
+    yield t.join(r)
+
+
+# ----------------------------------------------------------------------
+# CVE-2011-2183 — ksm exit race (use-after-free)
+# ----------------------------------------------------------------------
+def _ksm_scanner(t, mm_ptr):
+    mm = yield t.read(mm_ptr)
+    if mm is None:
+        return
+    yield from busywork(t, mm_ptr, 2)
+    yield t.heap_read(mm, "anon_vmas")
+
+
+def _ksm_exiter(t, mm_ptr, mm):
+    yield t.free(mm)
+    yield t.write(mm_ptr, None)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2011-2183", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2011_2183(t):
+    """ksm scans an mm while the owner exits: the scanner samples the
+    pointer before the exit frees the mm, then touches freed memory."""
+    mm = yield t.malloc("mm_struct", anon_vmas=3)
+    mm_ptr = t.var("ksm_scan_mm", mm)
+    s = yield t.spawn(_ksm_scanner, mm_ptr)
+    e = yield t.spawn(_ksm_exiter, mm_ptr, mm)
+    yield t.join(s)
+    yield t.join(e)
+
+
+# ----------------------------------------------------------------------
+# CVE-2013-1792 — keyring install/revoke race (three threads)
+# ----------------------------------------------------------------------
+def _keyring_installer(t, cred_ptr, cred):
+    yield t.write(cred_ptr, cred)
+
+
+def _keyring_revoker(t, cred_ptr):
+    cred = yield t.read(cred_ptr)
+    if cred is not None:
+        yield from busywork(t, cred_ptr, 1)
+        yield t.free(cred)
+        yield t.write(cred_ptr, None)
+
+
+def _keyring_user(t, cred_ptr):
+    cred = yield t.read(cred_ptr)
+    if cred is None:
+        return
+    yield from busywork(t, cred_ptr, 2)
+    yield t.heap_read(cred, "session_keyring")
+
+
+@program(
+    "ConVul-CVE-Benchmarks/CVE-2013-1792",
+    bug_kinds=("use-after-free",),
+    suite="ConVul",
+    mc_supported=True,
+)
+def cve_2013_1792(t):
+    """Three-way keyring race: install publishes the cred, the revoker frees
+    it, and the user dereferences a stale copy taken in between."""
+    cred = yield t.malloc("cred", session_keyring=7)
+    cred_ptr = t.var("cred_ptr", None)
+    i = yield t.spawn(_keyring_installer, cred_ptr, cred)
+    r = yield t.spawn(_keyring_revoker, cred_ptr)
+    u = yield t.spawn(_keyring_user, cred_ptr)
+    yield t.join(i)
+    yield t.join(r)
+    yield t.join(u)
+
+
+# ----------------------------------------------------------------------
+# CVE-2015-7550 — keyctl read vs revoke (use-after-free)
+# ----------------------------------------------------------------------
+def _keyctl_reader(t, key_ptr):
+    key = yield t.read(key_ptr)
+    if key is None:
+        return
+    yield from busywork(t, key_ptr, 1)
+    yield t.heap_read(key, "payload")
+    yield t.heap_read(key, "datalen")
+
+
+def _keyctl_revoker(t, key_ptr, key):
+    yield from busywork(t, key_ptr, 1)
+    yield t.free(key)
+    yield t.write(key_ptr, None)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2015-7550", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2015_7550(t):
+    """keyctl_read races keyctl_revoke: the reader holds no lock between
+    looking the key up and copying its payload."""
+    key = yield t.malloc("key", payload=11, datalen=8)
+    key_ptr = t.var("key_ptr", key)
+    r = yield t.spawn(_keyctl_reader, key_ptr)
+    v = yield t.spawn(_keyctl_revoker, key_ptr, key)
+    yield t.join(r)
+    yield t.join(v)
+
+
+# ----------------------------------------------------------------------
+# CVE-2016-1972 — Firefox race (gated, narrow use-after-free)
+# ----------------------------------------------------------------------
+def _ff_worker(t, session_ptr, ready):
+    is_ready = yield t.read(ready)
+    if not is_ready:
+        return
+    session = yield t.read(session_ptr)
+    if session is None:
+        return
+    yield from busywork(t, ready, 3)
+    yield t.heap_read(session, "transport")
+    yield from busywork(t, ready, 2)
+    yield t.heap_read(session, "buffer")
+
+
+def _ff_destroyer(t, session_ptr, session, ready):
+    yield t.write(ready, 1)
+    yield from busywork(t, ready, 3)
+    yield t.free(session)
+    yield t.write(session_ptr, None)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2016-1972", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2016_1972(t):
+    """A gated Firefox session teardown: the worker must first observe the
+    ``ready`` flag, then sample the session, and only crashes if the destroy
+    lands inside the short window between its two dereferences — a deep,
+    multi-constraint ordering."""
+    session = yield t.malloc("nr_session", transport=1, buffer=2)
+    session_ptr = t.var("session_ptr", session)
+    ready = t.var("ready", 0)
+    w = yield t.spawn(_ff_worker, session_ptr, ready)
+    d = yield t.spawn(_ff_destroyer, session_ptr, session, ready)
+    yield t.join(w)
+    yield t.join(d)
+
+
+# ----------------------------------------------------------------------
+# CVE-2016-1973 — Firefox graphics use-after-free (short window)
+# ----------------------------------------------------------------------
+def _gfx_user(t, surface_ptr):
+    surface = yield t.read(surface_ptr)
+    if surface is not None:
+        yield t.heap_read(surface, "data")
+
+
+def _gfx_destroyer(t, surface_ptr, surface):
+    yield t.free(surface)
+    yield t.write(surface_ptr, None)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2016-1973", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2016_1973(t):
+    """Surface destroyed on one thread while another paints with it."""
+    surface = yield t.malloc("surface", data=9)
+    surface_ptr = t.var("surface_ptr", surface)
+    u = yield t.spawn(_gfx_user, surface_ptr)
+    d = yield t.spawn(_gfx_destroyer, surface_ptr, surface)
+    yield t.join(u)
+    yield t.join(d)
+
+
+# ----------------------------------------------------------------------
+# CVE-2016-7911 — ioprio get/set race (use-after-free)
+# ----------------------------------------------------------------------
+def _ioprio_getter(t, ioc_ptr):
+    ioc = yield t.read(ioc_ptr)
+    if ioc is None:
+        return
+    yield from busywork(t, ioc_ptr, 3)
+    yield t.heap_read(ioc, "ioprio")
+
+
+def _ioprio_setter(t, ioc_ptr, ioc):
+    yield from busywork(t, ioc_ptr, 1)
+    yield t.free(ioc)
+    new_ioc = yield t.malloc("io_context_new", ioprio=4)
+    yield t.write(ioc_ptr, new_ioc)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2016-7911", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2016_7911(t):
+    """sys_ioprio_get walks a task's io_context while sys_ioprio_set swaps
+    and frees it."""
+    ioc = yield t.malloc("io_context", ioprio=2)
+    ioc_ptr = t.var("ioc_ptr", ioc)
+    g = yield t.spawn(_ioprio_getter, ioc_ptr)
+    s = yield t.spawn(_ioprio_setter, ioc_ptr, ioc)
+    yield t.join(g)
+    yield t.join(s)
+
+
+# ----------------------------------------------------------------------
+# CVE-2016-9806 — netlink dump double free
+# ----------------------------------------------------------------------
+def _netlink_dumper(t, skb_ptr, done_flag):
+    done = yield t.read(done_flag)
+    if done:
+        return
+    skb = yield t.read(skb_ptr)
+    if skb is None:
+        return
+    yield from busywork(t, done_flag, 1)
+    yield t.free(skb)
+    yield t.write(done_flag, 1)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2016-9806", bug_kinds=("double-free",), suite="ConVul")
+def cve_2016_9806(t):
+    """Two concurrent netlink dump completions both pass the done-flag check
+    and free the same skb."""
+    skb = yield t.malloc("skb", len=5)
+    skb_ptr = t.var("skb_ptr", skb)
+    done_flag = t.var("cb_done", 0)
+    d1 = yield t.spawn(_netlink_dumper, skb_ptr, done_flag)
+    d2 = yield t.spawn(_netlink_dumper, skb_ptr, done_flag)
+    yield t.join(d1)
+    yield t.join(d2)
+
+
+# ----------------------------------------------------------------------
+# CVE-2017-15265 — ALSA sequencer port use-after-free (deep)
+# ----------------------------------------------------------------------
+def _alsa_creator(t, port_ptr, port, registered):
+    yield from busywork(t, registered, 2)
+    yield t.write(port_ptr, port)
+    yield t.write(registered, 1)
+
+
+def _alsa_deleter(t, port_ptr, registered):
+    is_registered = yield t.read(registered)
+    if not is_registered:
+        return
+    port = yield t.read(port_ptr)
+    if port is None:
+        return
+    yield from busywork(t, registered, 2)
+    yield t.free(port)
+    yield t.write(port_ptr, None)
+
+
+def _alsa_user(t, port_ptr, registered):
+    is_registered = yield t.read(registered)
+    if not is_registered:
+        return
+    port = yield t.read(port_ptr)
+    if port is None:
+        return
+    yield from busywork(t, registered, 4)
+    yield t.heap_read(port, "subscribers")
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2017-15265", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2017_15265(t):
+    """ALSA sequencer: create, delete and use of a port race across three
+    threads; the user must look the port up after registration but complete
+    its access only after the deleter freed it — a deep ordering chain."""
+    port = yield t.malloc("seq_port", subscribers=0)
+    port_ptr = t.var("port_ptr", None)
+    registered = t.var("registered", 0)
+    c = yield t.spawn(_alsa_creator, port_ptr, port, registered)
+    d = yield t.spawn(_alsa_deleter, port_ptr, registered)
+    u = yield t.spawn(_alsa_user, port_ptr, registered)
+    yield t.join(c)
+    yield t.join(d)
+    yield t.join(u)
+
+
+# ----------------------------------------------------------------------
+# CVE-2017-6346 — packet fanout use-after-free
+# ----------------------------------------------------------------------
+def _fanout_sender(t, rollover_ptr, refcount):
+    rollover = yield t.read(rollover_ptr)
+    if rollover is None:
+        return
+    yield from unprotected_add(t, refcount, 1)
+    yield from busywork(t, refcount, 1)
+    yield t.heap_read(rollover, "sock")
+
+
+def _fanout_unbinder(t, rollover_ptr, rollover, refcount):
+    count = yield t.read(refcount)
+    if count == 0:
+        yield t.free(rollover)
+        yield t.write(rollover_ptr, None)
+
+
+@program("ConVul-CVE-Benchmarks/CVE-2017-6346", bug_kinds=("use-after-free",), suite="ConVul")
+def cve_2017_6346(t):
+    """packet_do_bind frees the rollover structure based on a stale refcount
+    read while a sender still holds a pointer to it."""
+    rollover = yield t.malloc("rollover", sock=3)
+    rollover_ptr = t.var("rollover_ptr", rollover)
+    refcount = t.var("refcount", 0)
+    s = yield t.spawn(_fanout_sender, rollover_ptr, refcount)
+    u = yield t.spawn(_fanout_unbinder, rollover_ptr, rollover, refcount)
+    yield t.join(s)
+    yield t.join(u)
+
+
+def convul_programs():
+    """All 10 ConVul CVE models in Appendix B order."""
+    return [
+        cve_2009_3547,
+        cve_2011_2183,
+        cve_2013_1792,
+        cve_2015_7550,
+        cve_2016_1972,
+        cve_2016_1973,
+        cve_2016_7911,
+        cve_2016_9806,
+        cve_2017_15265,
+        cve_2017_6346,
+    ]

@@ -1,0 +1,419 @@
+"""CS suite: behavioural models of the SCTBench ``CS/*`` programs.
+
+These are the SV-COMP-derived pthread subjects of Cordeiro & Fischer (ICSE
+2011) as packaged in SCTBench.  Each model reproduces the original subject's
+*bug structure* — thread counts, synchronization pattern, and the ordering
+constraints a schedule must satisfy to expose the bug — on the deterministic
+runtime (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, join_all, locked_add, spawn_all, unprotected_add
+from repro.runtime.program import Program, program
+
+
+# ----------------------------------------------------------------------
+# CS/account — unprotected deposit/withdraw on a shared balance
+# ----------------------------------------------------------------------
+def _deposit(t, balance, amount):
+    yield from unprotected_add(t, balance, amount)
+
+
+def _withdraw(t, balance, amount):
+    yield from unprotected_add(t, balance, -amount)
+
+
+@program("CS/account", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def account(t):
+    """Lost-update race: deposit and withdraw both read-modify-write the
+    balance without a lock, so one update can be overwritten."""
+    balance = t.var("balance", 10)
+    d = yield t.spawn(_deposit, balance, 5)
+    w = yield t.spawn(_withdraw, balance, 3)
+    yield t.join(d)
+    yield t.join(w)
+    final = yield t.read(balance)
+    t.require(final == 12, f"balance {final} != 12: lost update")
+
+
+# ----------------------------------------------------------------------
+# CS/bluetooth_driver — the classic stop-vs-dispatch driver race
+# ----------------------------------------------------------------------
+def _bt_worker(t, stopping, stopped, pending):
+    flag = yield t.read(stopping)
+    if flag:
+        return
+    yield from unprotected_add(t, pending, 1)
+    yield from busywork(t, pending, 3)
+    is_stopped = yield t.read(stopped)
+    t.require(not is_stopped, "device used after stop completed")
+    yield from unprotected_add(t, pending, -1)
+
+
+def _bt_stopper(t, stopping, stopped, pending):
+    yield t.write(stopping, 1)
+    yield from unprotected_add(t, pending, -1)
+    remaining = yield t.read(pending)
+    if remaining == 0:
+        yield t.write(stopped, 1)
+
+
+@program("CS/bluetooth_driver", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def bluetooth_driver(t):
+    """Qadeer-Wu Bluetooth driver model: the worker passes the ``stopping``
+    check, the stopper then completes the stop, and the worker touches the
+    stopped device."""
+    stopping = t.var("stopping", 0)
+    stopped = t.var("stopped", 0)
+    pending = t.var("pendingIo", 1)
+    worker = yield t.spawn(_bt_worker, stopping, stopped, pending)
+    stopper = yield t.spawn(_bt_stopper, stopping, stopped, pending)
+    yield t.join(worker)
+    yield t.join(stopper)
+
+
+# ----------------------------------------------------------------------
+# CS/carter01 and CS/deadlock01 — ABBA mutex deadlocks
+# ----------------------------------------------------------------------
+def _carter_ab(t, ma, mb, data):
+    yield t.lock(ma)
+    yield from unprotected_add(t, data, 1)
+    yield t.lock(mb)
+    yield from unprotected_add(t, data, 1)
+    yield t.unlock(mb)
+    yield t.unlock(ma)
+
+
+def _carter_ba(t, ma, mb, data):
+    yield t.lock(mb)
+    yield from unprotected_add(t, data, 2)
+    yield t.lock(ma)
+    yield from unprotected_add(t, data, 2)
+    yield t.unlock(ma)
+    yield t.unlock(mb)
+
+
+@program("CS/carter01", bug_kinds=("deadlock",), suite="CS", mc_supported=True)
+def carter01(t):
+    """ABBA deadlock: one thread takes A then B, the other B then A, with
+    shared-data updates stretching the deadlock window."""
+    ma = t.mutex("A")
+    mb = t.mutex("B")
+    data = t.var("data", 0)
+    h1 = yield t.spawn(_carter_ab, ma, mb, data)
+    h2 = yield t.spawn(_carter_ba, ma, mb, data)
+    yield t.join(h1)
+    yield t.join(h2)
+
+
+def _dl_ab(t, ma, mb):
+    yield t.lock(ma)
+    yield t.lock(mb)
+    yield t.unlock(mb)
+    yield t.unlock(ma)
+
+
+def _dl_ba(t, ma, mb):
+    yield t.lock(mb)
+    yield t.lock(ma)
+    yield t.unlock(ma)
+    yield t.unlock(mb)
+
+
+@program("CS/deadlock01", bug_kinds=("deadlock",), suite="CS", mc_supported=True)
+def deadlock01(t):
+    """Minimal ABBA deadlock between two threads and two mutexes."""
+    ma = t.mutex("A")
+    mb = t.mutex("B")
+    h1 = yield t.spawn(_dl_ab, ma, mb)
+    h2 = yield t.spawn(_dl_ba, ma, mb)
+    yield t.join(h1)
+    yield t.join(h2)
+
+
+# ----------------------------------------------------------------------
+# CS/circular_buffer — unprotected single-producer/single-consumer ring
+# ----------------------------------------------------------------------
+_RING = 4
+
+
+def _cb_sender(t, slots, head, count):
+    for i in range(1, _RING + 1):
+        position = yield t.read(head)
+        # Publication bug: occupancy is bumped before the slot is filled,
+        # so a concurrent receiver can drain an empty slot.
+        yield from unprotected_add(t, count, 1)
+        yield t.write(slots[position % _RING], i)
+        yield t.write(head, position + 1)
+
+
+def _cb_receiver(t, slots, tail, count):
+    received = 0
+    for _ in range(_RING):
+        available = yield t.read(count)
+        if available <= received:
+            continue
+        position = yield t.read(tail)
+        value = yield t.read(slots[position % _RING])
+        yield t.write(tail, position + 1)
+        t.require(value == position + 1, f"slot {position}: got {value}")
+        received += 1
+
+
+@program("CS/circular_buffer", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def circular_buffer(t):
+    """SPSC ring buffer with unsynchronized count/head/tail: the receiver can
+    observe the count before the slot write lands and read a stale slot."""
+    slots = [t.var(f"slot{i}", 0) for i in range(_RING)]
+    head = t.var("head", 0)
+    tail = t.var("tail", 0)
+    count = t.var("count", 0)
+    s = yield t.spawn(_cb_sender, slots, head, count)
+    r = yield t.spawn(_cb_receiver, slots, tail, count)
+    yield t.join(s)
+    yield t.join(r)
+
+
+# ----------------------------------------------------------------------
+# CS/lazy01 — both increments land before the guarded check
+# ----------------------------------------------------------------------
+def _lazy_inc(t, mutex, data, delta):
+    yield from locked_add(t, mutex, data, delta)
+
+
+def _lazy_check(t, mutex, data):
+    yield t.lock(mutex)
+    value = yield t.read(data)
+    yield t.unlock(mutex)
+    t.require(value != 3, "observed data == 3")
+
+
+@program("CS/lazy01", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def lazy01(t):
+    """Three lock-disciplined threads; the assertion fires only when both
+    increments are scheduled before the checking thread's critical section."""
+    mutex = t.mutex("m")
+    data = t.var("data", 0)
+    h1 = yield t.spawn(_lazy_inc, mutex, data, 1)
+    h2 = yield t.spawn(_lazy_inc, mutex, data, 2)
+    h3 = yield t.spawn(_lazy_check, mutex, data)
+    yield from join_all(t, [h1, h2, h3])
+
+
+# ----------------------------------------------------------------------
+# CS/queue — racy enqueue/dequeue counters
+# ----------------------------------------------------------------------
+def _q_enqueue(t, slots, count):
+    for i, slot in enumerate(slots):
+        yield t.write(slot, i + 1)
+        yield from unprotected_add(t, count, 1)
+
+
+def _q_dequeue(t, slots, count, taken):
+    for slot in slots:
+        available = yield t.read(count)
+        if available > 0:
+            yield t.read(slot)
+            yield from unprotected_add(t, count, -1)
+            yield from unprotected_add(t, taken, 1)
+
+
+@program("CS/queue", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def queue(t):
+    """Enqueue and dequeue race on the element count: a lost update leaves
+    the final count inconsistent with the number of dequeued items."""
+    slots = [t.var(f"q{i}", 0) for i in range(2)]
+    count = t.var("count", 0)
+    taken = t.var("taken", 0)
+    e = yield t.spawn(_q_enqueue, slots, count)
+    d = yield t.spawn(_q_dequeue, slots, count, taken)
+    yield t.join(e)
+    yield t.join(d)
+    final = yield t.read(count)
+    got = yield t.read(taken)
+    t.require(final == 2 - got, f"count {final} inconsistent with {got} dequeues")
+
+
+# ----------------------------------------------------------------------
+# CS/reorder_n — the paper's running example (Figure 1)
+# ----------------------------------------------------------------------
+def _reorder_setter(t, a, b):
+    yield t.write(a, 1)
+    yield t.write(b, -1)
+
+
+def _reorder_checker(t, a, b):
+    va = yield t.read(a)
+    vb = yield t.read(b)
+    t.require(
+        (va == 0 and vb == 0) or (va == 1 and vb == -1),
+        f"inconsistent snapshot a={va}, b={vb}",
+    )
+
+
+def make_reorder(n: int) -> Program:
+    """``n`` setter threads write (a, b) = (1, -1); one checker asserts it
+    never observes a half-done update.  The bug needs the checker's read of
+    ``a`` to see a setter write while its read of ``b`` sees the initial
+    value — depth ≥ n+1 for PCT, trivial for a reads-from constraint."""
+
+    @program(f"CS/reorder_{n}", bug_kinds=("assertion",), suite="CS")
+    def reorder(t):
+        a = t.var("a", 0)
+        b = t.var("b", 0)
+        yield from spawn_all(t, _reorder_setter, n, a, b)
+        yield t.spawn(_reorder_checker, a, b)
+
+    return reorder
+
+
+# ----------------------------------------------------------------------
+# CS/stack — push/pop race through an unprotected top-of-stack counter
+# ----------------------------------------------------------------------
+def _stack_push(t, slots, top):
+    for i, slot in enumerate(slots):
+        yield from unprotected_add(t, top, 1)
+        yield t.write(slot, i + 1)
+
+
+def _stack_pop(t, slots, top):
+    for _ in slots:
+        size = yield t.read(top)
+        if size > 0:
+            value = yield t.read(slots[size - 1])
+            t.require(value != 0, f"popped uninitialised slot {size - 1}")
+            yield from unprotected_add(t, top, -1)
+
+
+@program("CS/stack", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def stack(t):
+    """The pop thread can observe the incremented top before the pushed
+    value is written and pop an uninitialised slot."""
+    slots = [t.var(f"s{i}", 0) for i in range(2)]
+    top = t.var("top", 0)
+    pusher = yield t.spawn(_stack_push, slots, top)
+    popper = yield t.spawn(_stack_pop, slots, top)
+    yield t.join(pusher)
+    yield t.join(popper)
+
+
+# ----------------------------------------------------------------------
+# CS/token_ring — unprotected token increments around a ring
+# ----------------------------------------------------------------------
+def _token_pass(t, token):
+    yield from busywork(t, token, 1)
+    yield from unprotected_add(t, token, 1)
+
+
+@program("CS/token_ring", bug_kinds=("assertion",), suite="CS", mc_supported=True)
+def token_ring(t):
+    """Three stations each increment the token read-modify-write without a
+    lock; a lost update leaves the ring short of a full revolution."""
+    token = t.var("token", 0)
+    handles = yield from spawn_all(t, _token_pass, 3, token)
+    yield from join_all(t, handles)
+    final = yield t.read(token)
+    t.require(final == 3, f"token {final} != 3 after one revolution")
+
+
+# ----------------------------------------------------------------------
+# CS/twostage_n — two-phase update with a reader between the stages
+# ----------------------------------------------------------------------
+def _twostage_worker(t, m1, m2, data1, data2):
+    yield t.lock(m1)
+    yield t.write(data1, 1)
+    yield t.unlock(m1)
+    yield t.lock(m2)
+    value = yield t.read(data1)
+    yield t.write(data2, value + 1)
+    yield t.unlock(m2)
+
+
+def _twostage_reader(t, m1, m2, data1, data2):
+    yield t.lock(m1)
+    first = yield t.read(data1)
+    yield t.unlock(m1)
+    yield t.lock(m2)
+    second = yield t.read(data2)
+    yield t.unlock(m2)
+    t.require(first == 0 or second == first + 1, f"saw stage1={first} stage2={second}")
+
+
+def make_twostage(n: int, base_name: str | None = None) -> Program:
+    """``n`` workers perform a two-stage update under two locks; the reader
+    must be interleaved after some worker's stage 1 and before *every*
+    worker's stage 2 — the twostage_n bug of SCTBench."""
+    name = base_name or (f"CS/twostage_{n}" if n != 1 else "CS/twostage")
+
+    @program(name, bug_kinds=("assertion",), suite="CS", mc_supported=(n == 1))
+    def twostage(t):
+        m1 = t.mutex("m1")
+        m2 = t.mutex("m2")
+        data1 = t.var("data1", 0)
+        data2 = t.var("data2", 0)
+        yield from spawn_all(t, _twostage_worker, n, m1, m2, data1, data2)
+        yield t.spawn(_twostage_reader, m1, m2, data1, data2)
+
+    return twostage
+
+
+# ----------------------------------------------------------------------
+# CS/wronglock — two threads protect the same data with different locks
+# ----------------------------------------------------------------------
+def _wl_right(t, ma, data):
+    yield from locked_add(t, ma, data, 1)
+
+
+def _wl_wrong(t, mb, data):
+    yield t.lock(mb)
+    value = yield t.read(data)
+    yield from busywork(t, data, 1)
+    yield t.write(data, value + 1)
+    yield t.unlock(mb)
+
+
+def make_wronglock(n: int, name: str) -> Program:
+    """``n`` threads update under lock A while one thread uses lock B for
+    the same variable: mutual exclusion silently fails."""
+
+    @program(name, bug_kinds=("assertion",), suite="CS", mc_supported=(n == 1))
+    def wronglock(t):
+        ma = t.mutex("A")
+        mb = t.mutex("B")
+        data = t.var("data", 0)
+        handles = yield from spawn_all(t, _wl_right, n, ma, data)
+        wrong = yield t.spawn(_wl_wrong, mb, data)
+        yield from join_all(t, [*handles, wrong])
+        final = yield t.read(data)
+        t.require(final == n + 1, f"data {final} != {n + 1}: lock discipline broken")
+
+    return wronglock
+
+
+def cs_programs() -> list[Program]:
+    """All 22 CS/* models in Appendix B order."""
+    return [
+        account,
+        bluetooth_driver,
+        carter01,
+        circular_buffer,
+        deadlock01,
+        lazy01,
+        queue,
+        make_reorder(10),
+        make_reorder(100),
+        make_reorder(20),
+        make_reorder(3),
+        make_reorder(4),
+        make_reorder(5),
+        make_reorder(50),
+        stack,
+        token_ring,
+        make_twostage(1),
+        make_twostage(100),
+        make_twostage(20),
+        make_twostage(50),
+        make_wronglock(1, "CS/wronglock"),
+        make_wronglock(3, "CS/wronglock_3"),
+    ]

@@ -1,0 +1,218 @@
+"""Curated extra subjects beyond the paper's 49-program evaluation.
+
+The paper's artifact ships "some additional curated examples not discussed
+in the paper" (Appendix A.1); this module plays that role: classic mutual
+exclusion protocols, lock implementations and lock-free patterns that
+exercise the runtime API broadly and make instructive fuzzing targets.
+They are registered separately from the evaluation registry so campaign
+results remain comparable with Appendix B.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, join_all, spawn_all, unprotected_add
+from repro.runtime.program import Program, program
+
+
+# ----------------------------------------------------------------------
+# Dekker's algorithm (correct under SC; breaks under TSO)
+# ----------------------------------------------------------------------
+def _dekker_thread(t, me, flags, turn, incritical):
+    other = 1 - me
+    yield t.write(flags[me], 1)
+    while True:  # faithful (unbounded) entry protocol; step bound guards spins
+        contended = yield t.read(flags[other])
+        if not contended:
+            break
+        owner = yield t.read(turn)
+        if owner != me:
+            yield t.write(flags[me], 0)
+            while True:
+                owner = yield t.read(turn)
+                if owner == me:
+                    break
+                yield t.pause()
+            yield t.write(flags[me], 1)
+    inside = yield t.add(incritical, 1)
+    t.require(inside == 0, "two threads inside Dekker's critical section")
+    yield t.add(incritical, -1)
+    yield t.write(turn, other)
+    yield t.write(flags[me], 0)
+
+
+@program("extras/dekker", bug_kinds=("assertion",), suite="extras", max_steps=2000)
+def dekker(t):
+    """Dekker's mutual exclusion.  Under the runtime's SC semantics the
+    assertion holds on every (non-truncated) schedule; under the TSO
+    executor the buffered flag writes break it — the canonical weak-memory
+    victim."""
+    flags = [t.var("flag0", 0), t.var("flag1", 0)]
+    turn = t.var("turn", 0)
+    incritical = t.var("incritical", 0)
+    h0 = yield t.spawn(_dekker_thread, 0, flags, turn, incritical)
+    h1 = yield t.spawn(_dekker_thread, 1, flags, turn, incritical)
+    yield from join_all(t, [h0, h1])
+
+
+# ----------------------------------------------------------------------
+# Peterson's algorithm (same story, simpler protocol)
+# ----------------------------------------------------------------------
+def _peterson_thread(t, me, flags, victim, incritical):
+    other = 1 - me
+    yield t.write(flags[me], 1)
+    yield t.write(victim, me)
+    while True:  # faithful busy-wait; the step bound guards livelocks
+        contended = yield t.read(flags[other])
+        blamed = yield t.read(victim)
+        if not (contended and blamed == me):
+            break
+        yield t.pause()
+    inside = yield t.add(incritical, 1)
+    t.require(inside == 0, "two threads inside Peterson's critical section")
+    yield t.add(incritical, -1)
+    yield t.write(flags[me], 0)
+
+
+@program("extras/peterson", bug_kinds=("assertion",), suite="extras", max_steps=1500)
+def peterson(t):
+    """Peterson's lock: SC-correct, TSO-broken."""
+    flags = [t.var("flag0", 0), t.var("flag1", 0)]
+    victim = t.var("victim", 0)
+    incritical = t.var("incritical", 0)
+    h0 = yield t.spawn(_peterson_thread, 0, flags, victim, incritical)
+    h1 = yield t.spawn(_peterson_thread, 1, flags, victim, incritical)
+    yield from join_all(t, [h0, h1])
+
+
+# ----------------------------------------------------------------------
+# Ticket lock built from atomic fetch-and-add
+# ----------------------------------------------------------------------
+def _ticket_worker(t, next_ticket, now_serving, counter):
+    mine = yield t.add(next_ticket, 1)
+    while True:  # faithful busy-wait: only the ticket holder may proceed
+        serving = yield t.read(now_serving)
+        if serving == mine:
+            break
+        yield t.pause()
+    value = yield t.read(counter)
+    yield t.write(counter, value + 1)
+    yield t.add(now_serving, 1)
+
+
+@program("extras/ticket_lock", bug_kinds=(), suite="extras", max_steps=2000)
+def ticket_lock(t):
+    """A correct ticket lock: the increments it guards are never lost.
+    A bug-free subject — fuzzing it should report nothing, ever."""
+    next_ticket = t.var("next_ticket", 0)
+    now_serving = t.var("now_serving", 0)
+    counter = t.var("counter", 0)
+    handles = yield from spawn_all(t, _ticket_worker, 3, next_ticket, now_serving, counter)
+    yield from join_all(t, handles)
+    total = yield t.read(counter)
+    t.require(total == 3, f"ticket lock lost an update: {total}")
+
+
+# ----------------------------------------------------------------------
+# Broken readers-writers: writer starvation check omitted
+# ----------------------------------------------------------------------
+def _rw_reader(t, lock, readers, data):
+    yield t.lock(lock)
+    yield from unprotected_add(t, readers, 1)
+    yield t.unlock(lock)
+    value = yield t.read(data)
+    yield from busywork(t, data, 1)
+    again = yield t.read(data)
+    t.require(value == again, f"torn read: {value} then {again}")
+    yield t.lock(lock)
+    yield from unprotected_add(t, readers, -1)
+    yield t.unlock(lock)
+
+
+def _rw_writer(t, lock, readers, data):
+    yield t.lock(lock)
+    active = yield t.read(readers)
+    yield t.unlock(lock)
+    if active == 0:
+        # Bug: the reader count was sampled under the lock, but the write
+        # happens after releasing it — a reader may have arrived since.
+        yield t.write(data, 1)
+        yield t.write(data, 2)
+
+
+@program("extras/readers_writers", bug_kinds=("assertion",), suite="extras")
+def readers_writers(t):
+    """A readers-writers 'lock' that releases the gate before writing:
+    readers observe torn writes."""
+    lock = t.mutex("gate")
+    readers = t.var("readers", 0)
+    data = t.var("data", 0)
+    r1 = yield t.spawn(_rw_reader, lock, readers, data)
+    w = yield t.spawn(_rw_writer, lock, readers, data)
+    yield from join_all(t, [r1, w])
+
+
+# ----------------------------------------------------------------------
+# ABA counter: CAS loop with a recycled sentinel
+# ----------------------------------------------------------------------
+def _aba_mutator(t, top, epoch):
+    observed = yield t.read(top)
+    yield from busywork(t, epoch, 2)
+    swapped = yield t.cas(top, observed, observed + 1)
+    if swapped:
+        yield t.add(epoch, 1)
+
+
+def _aba_recycler(t, top):
+    value = yield t.read(top)
+    yield t.write(top, value + 1)
+    yield t.write(top, value)  # recycle: same value, different "identity"
+
+
+@program("extras/aba_counter", bug_kinds=("assertion",), suite="extras")
+def aba_counter(t):
+    """A CAS that succeeds because the value was recycled (A-B-A), breaking
+    the epoch invariant the mutators maintain."""
+    top = t.var("top", 0)
+    epoch = t.var("epoch", 0)
+    m1 = yield t.spawn(_aba_mutator, top, epoch)
+    recycler = yield t.spawn(_aba_recycler, top)
+    m2 = yield t.spawn(_aba_mutator, top, epoch)
+    yield from join_all(t, [m1, recycler, m2])
+    final_top = yield t.read(top)
+    final_epoch = yield t.read(epoch)
+    t.require(
+        final_top >= final_epoch,
+        f"ABA broke the epoch invariant: top {final_top} < epoch {final_epoch}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Barrier misuse: one party skips the second phase
+# ----------------------------------------------------------------------
+def _phased_worker(t, b, phase_data, me, skip_second):
+    yield t.write(phase_data[me], 1)
+    yield t.arrive(b)
+    for other, slot in enumerate(phase_data):
+        value = yield t.read(slot)
+        t.require(value >= 1, f"worker {me} saw phase-1 data of {other} missing")
+    if skip_second:
+        return  # bug: deserts the barrier before phase 2
+    yield t.write(phase_data[me], 2)
+    yield t.arrive(b)
+
+
+@program("extras/barrier_desertion", bug_kinds=("deadlock",), suite="extras")
+def barrier_desertion(t):
+    """One worker deserts a cyclic barrier after phase 1: the remaining
+    parties wait forever — a structured deadlock without any lock."""
+    b = t.barrier("phases", 3)
+    phase_data = [t.var(f"pd{i}", 0) for i in range(3)]
+    h0 = yield t.spawn(_phased_worker, b, phase_data, 0, False)
+    h1 = yield t.spawn(_phased_worker, b, phase_data, 1, False)
+    h2 = yield t.spawn(_phased_worker, b, phase_data, 2, True)
+    yield from join_all(t, [h0, h1, h2])
+
+
+def extras_programs() -> list[Program]:
+    """The curated extra subjects (not part of the Appendix B registry)."""
+    return [dekker, peterson, ticket_lock, readers_writers, aba_counter, barrier_desertion]

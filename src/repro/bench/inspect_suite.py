@@ -1,0 +1,115 @@
+"""Inspect suite: models of the Inspect-runtime subjects (Yang et al.,
+UUCS-08-004): boundedBuffer, ctrace-test and qsort_mt."""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, join_all, unprotected_add
+from repro.runtime.program import program
+
+_BUF = 2
+
+
+# ----------------------------------------------------------------------
+# Inspect_benchmarks/boundedBuffer — semaphore ring with racy indices
+# ----------------------------------------------------------------------
+def _bb_producer(t, slots, empty, full, in_index, value):
+    yield t.acquire(empty)
+    position = yield t.read(in_index)
+    yield t.write(slots[position % _BUF], value)
+    yield t.write(in_index, position + 1)
+    yield t.release(full)
+
+
+def _bb_consumer(t, slots, empty, full, out_index):
+    for _ in range(2):
+        yield t.acquire(full)
+        position = yield t.read(out_index)
+        value = yield t.read(slots[position % _BUF])
+        yield t.write(out_index, position + 1)
+        yield t.release(empty)
+        t.require(value != 0, f"consumed empty slot at {position}")
+
+
+@program("Inspect_benchmarks/boundedBuffer", bug_kinds=("assertion",), suite="Inspect")
+def bounded_buffer(t):
+    """Semaphores guard occupancy but not the *indices*: two producers can
+    write the same slot (one value lost, one slot stays empty), so the
+    consumer can drain a slot nothing ever filled."""
+    slots = [t.var(f"buf{i}", 0) for i in range(_BUF)]
+    empty = t.sem("empty", _BUF)
+    full = t.sem("full", 0)
+    in_index = t.var("in", 0)
+    out_index = t.var("out", 0)
+    p1 = yield t.spawn(_bb_producer, slots, empty, full, in_index, 7)
+    p2 = yield t.spawn(_bb_producer, slots, empty, full, in_index, 9)
+    c = yield t.spawn(_bb_consumer, slots, empty, full, out_index)
+    yield from join_all(t, [p1, p2, c])
+
+
+# ----------------------------------------------------------------------
+# Inspect_benchmarks/ctrace-test — unsynchronized trace buffer counter
+# ----------------------------------------------------------------------
+def _ctrace_logger(t, counter):
+    yield from unprotected_add(t, counter, 1)
+
+
+@program("Inspect_benchmarks/ctrace-test", bug_kinds=("assertion",), suite="Inspect", mc_supported=True)
+def ctrace_test(t):
+    """The ctrace logging library bumps its event counter without a lock;
+    two loggers lose an update almost immediately."""
+    counter = t.var("events", 0)
+    l1 = yield t.spawn(_ctrace_logger, counter)
+    l2 = yield t.spawn(_ctrace_logger, counter)
+    yield t.join(l1)
+    yield t.join(l2)
+    total = yield t.read(counter)
+    t.require(total == 2, f"logged {total} events, expected 2")
+
+
+# ----------------------------------------------------------------------
+# Inspect_benchmarks/qsort_mt — lost wakeup deadlock in the work pool
+# ----------------------------------------------------------------------
+def _qsort_worker(t, mutex, cond, work, taken):
+    yield t.lock(mutex)
+    pending = yield t.read(work)
+    if pending == 0:
+        # Missed-wakeup window: if the master published work and signalled
+        # between our check and this wait, the signal is lost forever.
+        yield t.wait(cond, mutex)
+    remaining = yield t.read(work)
+    if remaining > 0:
+        yield t.write(work, remaining - 1)
+        yield from unprotected_add(t, taken, 1)
+    yield t.unlock(mutex)
+
+
+def _qsort_master(t, mutex, cond, work, progress):
+    # The 0.9-era qsort_mt publishes work and signals *without* taking the
+    # pool mutex — the defect at the heart of the hang.
+    for _ in range(2):
+        yield from busywork(t, progress, 2)
+        old = yield t.read(work)
+        yield t.write(work, old + 1)
+        yield t.signal(cond)
+    yield from busywork(t, progress, 2)
+
+
+@program("Inspect_benchmarks/qsort_mt", bug_kinds=("deadlock",), suite="Inspect")
+def qsort_mt(t):
+    """Multi-threaded quicksort work pool: the master signals without the
+    mutex, so a worker that checked the queue just before the signal sleeps
+    forever — the process hangs with work pending."""
+    mutex = t.mutex("pool")
+    cond = t.cond("work_ready")
+    work = t.var("work", 0)
+    taken = t.var("taken", 0)
+    progress = t.var("progress", 0)
+    w1 = yield t.spawn(_qsort_worker, mutex, cond, work, taken)
+    w2 = yield t.spawn(_qsort_worker, mutex, cond, work, taken)
+    m = yield t.spawn(_qsort_master, mutex, cond, work, progress)
+    yield from join_all(t, [m, w1, w2])
+
+
+def inspect_programs():
+    """All 3 Inspect models in Appendix B order."""
+    return [bounded_buffer, ctrace_test, qsort_mt]

@@ -1,0 +1,126 @@
+"""RADBench suite: models of the browser-engine subjects (Jalbert et al.,
+HotPar 2011) evaluated by the paper — bug4, bug5 and bug6."""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, join_all, unprotected_add
+from repro.runtime.program import program
+
+
+# ----------------------------------------------------------------------
+# RADBench/bug4 — SpiderMonkey GC vs mutator straddle (hard)
+# ----------------------------------------------------------------------
+def _bug4_gc(t, gc_active, heap_state, noise):
+    yield from unprotected_add(t, noise, 1)
+    yield t.write(gc_active, 1)
+    yield from busywork(t, noise, 4)
+    yield t.write(heap_state, 2)  # heap is torn while the GC runs
+    yield from busywork(t, noise, 4)
+    yield t.write(heap_state, 0)
+    yield t.write(gc_active, 0)
+
+
+def _bug4_mutator(t, gc_active, heap_state, noise):
+    active = yield t.read(gc_active)
+    yield from unprotected_add(t, noise, 1)
+    if active:
+        return
+    yield from busywork(t, noise, 3)
+    state = yield t.read(heap_state)
+    t.require(state != 2, "mutator touched a torn heap during GC")
+
+
+@program("RADBench/bug4", bug_kinds=("assertion",), suite="RADBench")
+def bug4(t):
+    """The mutator samples ``gc_active`` before the collector raises it and
+    then dereferences the heap exactly while it is torn — the two reads must
+    straddle the collector's two writes, with noise traffic swelling the
+    reads-from space around the bug."""
+    gc_active = t.var("gc_active", 0)
+    heap_state = t.var("heap_state", 0)
+    noise = t.var("noise", 0)
+    g = yield t.spawn(_bug4_gc, gc_active, heap_state, noise)
+    m1 = yield t.spawn(_bug4_mutator, gc_active, heap_state, noise)
+    m2 = yield t.spawn(_bug4_mutator, gc_active, heap_state, noise)
+    yield from join_all(t, [g, m1, m2])
+
+
+# ----------------------------------------------------------------------
+# RADBench/bug5 — nested generation straddle (found by no evaluated tool)
+# ----------------------------------------------------------------------
+def _bug5_writer(t, gen, phase, commit, noise):
+    for value in range(1, 4):
+        yield from busywork(t, noise, 2)
+        yield t.write(gen, value)
+        yield from busywork(t, noise, 1)
+        yield t.write(phase, value)
+        yield from busywork(t, noise, 1)
+        yield t.write(commit, value)
+
+
+def _bug5_observer(t, gen, phase, commit, noise):
+    g1 = yield t.read(gen)
+    yield from busywork(t, noise, 2)
+    p = yield t.read(phase)
+    yield from busywork(t, noise, 2)
+    c = yield t.read(commit)
+    yield from busywork(t, noise, 1)
+    g2 = yield t.read(gen)
+    # Only an observer that catches generation g fully published, the next
+    # phase half-published, and the commit lagging two generations trips it.
+    t.require(not (g1 == 1 and p == 2 and c == 0 and g2 == 3), "torn triple-generation snapshot")
+
+
+@program("RADBench/bug5", bug_kinds=("assertion",), suite="RADBench")
+def bug5(t):
+    """A four-way ordering chain across three generation variables: every
+    one of the observer's four reads must land in its own one-event window
+    of the writer's nine-write sequence.  Matches the paper's row where no
+    evaluated tool finds the bug within budget."""
+    gen = t.var("gen", 0)
+    phase = t.var("phase", 0)
+    commit = t.var("commit", 0)
+    noise = t.var("noise", 0)
+    w = yield t.spawn(_bug5_writer, gen, phase, commit, noise)
+    o1 = yield t.spawn(_bug5_observer, gen, phase, commit, noise)
+    o2 = yield t.spawn(_bug5_observer, gen, phase, commit, noise)
+    yield from join_all(t, [w, o1, o2])
+
+
+# ----------------------------------------------------------------------
+# RADBench/bug6 — NSPR monitor ABBA deadlock
+# ----------------------------------------------------------------------
+def _bug6_dispatcher(t, monitor, io_lock, queue):
+    yield t.lock(monitor)
+    yield from unprotected_add(t, queue, 1)
+    yield t.lock(io_lock)
+    yield from unprotected_add(t, queue, 1)
+    yield t.unlock(io_lock)
+    yield t.unlock(monitor)
+
+
+def _bug6_io(t, monitor, io_lock, queue):
+    yield t.lock(io_lock)
+    yield from unprotected_add(t, queue, -1)
+    yield t.lock(monitor)
+    yield from unprotected_add(t, queue, -1)
+    yield t.unlock(monitor)
+    yield t.unlock(io_lock)
+
+
+@program("RADBench/bug6", bug_kinds=("deadlock",), suite="RADBench")
+def bug6(t):
+    """NSPR monitor vs. I/O lock taken in opposite orders by the dispatcher
+    and the I/O thread: a classic ABBA hang."""
+    monitor = t.mutex("monitor")
+    io_lock = t.mutex("io")
+    queue = t.var("queue", 0)
+    d = yield t.spawn(_bug6_dispatcher, monitor, io_lock, queue)
+    i = yield t.spawn(_bug6_io, monitor, io_lock, queue)
+    yield t.join(d)
+    yield t.join(i)
+
+
+def radbench_programs():
+    """All 3 RADBench models in Appendix B order."""
+    return [bug4, bug5, bug6]

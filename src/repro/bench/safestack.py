@@ -1,0 +1,78 @@
+"""SafeStack: the hardest subject in either suite (paper Section 5.4).
+
+A model of Dmitry Vyukov's lock-free "SafeStack" as packaged in SCTBench:
+an index-linked free-list stack where ``pop`` reads the head and its next
+pointer non-atomically before a CAS.  The famous ABA bug needs three
+threads and a long, precisely interleaved window, which is why no evaluated
+tool finds it within the paper's budget (all "-" in Appendix B, GenMC
+errors).  Its large reads-from space is exactly why the paper uses it for
+the RQ3 exploration-uniformity histogram (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import join_all
+from repro.runtime.program import program
+
+_NODES = 3
+_ROUNDS = 2
+_CAS_RETRIES = 3
+
+
+def _pop(t, head, nexts):
+    """Racy pop: head and next are read in two separate loads before the
+    CAS, so the head can be recycled in between (the ABA window)."""
+    for _ in range(_CAS_RETRIES):
+        top = yield t.read(head)
+        if top < 0:
+            return -1
+        follower = yield t.read(nexts[top])
+        swapped = yield t.cas(head, top, follower)
+        if swapped:
+            return top
+    return -1
+
+
+def _push(t, head, nexts, index, version):
+    # The real SafeStack touches the node and global state on the way back
+    # in; the extra shared traffic lengthens the recycle an ABA needs.
+    yield t.add(version, 1)
+    for _ in range(_CAS_RETRIES):
+        top = yield t.read(head)
+        yield t.write(nexts[index], top)
+        swapped = yield t.cas(head, top, index)
+        if swapped:
+            return
+
+
+def _safestack_worker(t, head, nexts, owners, version):
+    for _ in range(_ROUNDS):
+        index = yield from _pop(t, head, nexts)
+        if index < 0:
+            continue
+        # Claim-and-release in back-to-back events: the exactly-once
+        # violation is only observable in this one-event window, mirroring
+        # the razor-thin corruption window of the original SafeStack.
+        holder = yield t.add(owners[index], 1)
+        t.require(holder == 0, f"node {index} popped while already owned")
+        yield t.add(owners[index], -1)
+        yield from _push(t, head, nexts, index, version)
+
+
+@program("SafeStack", bug_kinds=("assertion",), suite="SafeStack", max_steps=4000)
+def safestack(t):
+    """Three workers pop/use/push on the lock-free free list; an ABA on the
+    head hands the same node to two workers at once."""
+    head = t.var("head", 0)
+    version = t.var("version", 0)
+    nexts = [t.var(f"next{i}", i + 1 if i + 1 < _NODES else -1) for i in range(_NODES)]
+    owners = [t.var(f"owner{i}", 0) for i in range(_NODES)]
+    handles = []
+    for _ in range(3):
+        handle = yield t.spawn(_safestack_worker, head, nexts, owners, version)
+        handles.append(handle)
+    yield from join_all(t, handles)
+
+
+def safestack_programs():
+    return [safestack]

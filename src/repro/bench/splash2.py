@@ -1,0 +1,84 @@
+"""Splash2 suite: models of the barnes / fft / lu kernels (Woo et al.,
+ISCA 1995) as carried by SCTBench — parallel numeric kernels whose
+synchronization defects surface as shallow-to-moderate data races."""
+
+from __future__ import annotations
+
+from repro.bench.common import busywork, unprotected_add
+from repro.runtime.program import program
+
+
+# ----------------------------------------------------------------------
+# Splash2/barnes — racy body-count accumulation in the tree build
+# ----------------------------------------------------------------------
+def _barnes_loader(t, cell_count, bodies):
+    for _ in range(bodies):
+        yield from busywork(t, cell_count, 1)
+        yield from unprotected_add(t, cell_count, 1)
+
+
+@program("Splash2/barnes", bug_kinds=("assertion",), suite="Splash2")
+def barnes(t):
+    """Two loader threads insert bodies into the same tree cell; the
+    unprotected count update loses bodies."""
+    cell_count = t.var("cell_count", 0)
+    l1 = yield t.spawn(_barnes_loader, cell_count, 2)
+    l2 = yield t.spawn(_barnes_loader, cell_count, 2)
+    yield t.join(l1)
+    yield t.join(l2)
+    total = yield t.read(cell_count)
+    t.require(total == 4, f"tree holds {total} bodies, expected 4")
+
+
+# ----------------------------------------------------------------------
+# Splash2/fft — publication race in the transpose phase
+# ----------------------------------------------------------------------
+def _fft_transposer(t, done, row):
+    # Publication in the wrong order: the flag is raised before the data.
+    yield t.write(done, 1)
+    yield t.write(row, 42)
+
+
+def _fft_reader(t, done, row):
+    ready = yield t.read(done)
+    value = yield t.read(row)
+    if ready:
+        t.require(value == 42, f"consumed unpublished row: {value}")
+
+
+@program("Splash2/fft", bug_kinds=("assertion",), suite="Splash2")
+def fft(t):
+    """The transpose publishes its completion flag before the data row; a
+    peer that trusts the flag reads garbage.  Found immediately by every
+    tool."""
+    done = t.var("done", 0)
+    row = t.var("row", 0)
+    w = yield t.spawn(_fft_transposer, done, row)
+    r = yield t.spawn(_fft_reader, done, row)
+    yield t.join(w)
+    yield t.join(r)
+
+
+# ----------------------------------------------------------------------
+# Splash2/lu — lost update on the pivot block
+# ----------------------------------------------------------------------
+def _lu_eliminator(t, pivot, delta):
+    yield from unprotected_add(t, pivot, delta)
+
+
+@program("Splash2/lu", bug_kinds=("assertion",), suite="Splash2")
+def lu(t):
+    """Both eliminator threads update the shared pivot block without
+    holding the block lock; one update is lost."""
+    pivot = t.var("pivot", 0)
+    e1 = yield t.spawn(_lu_eliminator, pivot, 3)
+    e2 = yield t.spawn(_lu_eliminator, pivot, 5)
+    yield t.join(e1)
+    yield t.join(e2)
+    value = yield t.read(pivot)
+    t.require(value == 8, f"pivot {value} != 8 after elimination")
+
+
+def splash2_programs():
+    """All 3 Splash2 models in Appendix B order."""
+    return [barnes, fft, lu]

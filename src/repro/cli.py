@@ -1,0 +1,282 @@
+"""Command-line interface: ``rff``.
+
+Subcommands map one-to-one onto the paper's workflows::
+
+    rff list                          # the 49 benchmark programs
+    rff fuzz CS/reorder_100           # fuzz one program with RFF
+    rff run CS/account --tool POS     # run one baseline tool
+    rff campaign --trials 5           # Appendix B table + Figure 4
+    rff figure5 --executions 2000     # RQ3 rf-distribution histograms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import bench
+from repro.core.fuzzer import RffConfig, fuzz
+from repro.harness.campaign import Campaign, CampaignConfig
+from repro.harness.reporting import (
+    appendix_b_table,
+    figure4_ascii,
+    figure5_ascii,
+    rf_distribution_pos,
+    rf_distribution_rff,
+)
+from repro.harness.tools import (
+    GenMcTool,
+    PeriodTool,
+    RffTool,
+    muzz_tool,
+    paper_tools,
+    pct_tool,
+    pos_tool,
+    qlearning_tool,
+    random_tool,
+)
+
+
+def _make_tool(name: str):
+    factories = {
+        "RFF": RffTool,
+        "POS": pos_tool,
+        "PCT3": pct_tool,
+        "PERIOD": PeriodTool,
+        "GenMC": GenMcTool,
+        "QLearning RF": qlearning_tool,
+        "Random": random_tool,
+        "MUZZ-like": muzz_tool,
+    }
+    if name not in factories:
+        raise SystemExit(f"unknown tool {name!r}; choose from {sorted(factories)}")
+    return factories[name]()
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in bench.names():
+        prog = bench.get(name)
+        kinds = ",".join(sorted(prog.bug_kinds)) or "none"
+        mc = "mc" if prog.mc_supported else "  "
+        print(f"{name:55s} [{mc}] bugs: {kinds}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    prog = bench.get(args.program)
+    config = RffConfig(
+        use_feedback=not args.no_feedback,
+        use_power_schedule=not args.no_power,
+        use_constraints=not args.no_constraints,
+        memory_model=args.memory_model,
+    )
+    report = fuzz(
+        prog,
+        max_executions=args.budget,
+        seed=args.seed,
+        config=config,
+        stop_on_first_crash=not args.keep_going,
+    )
+    print(f"program:            {report.program_name}")
+    print(f"memory model:       {config.memory_model}")
+    print(f"schedules executed: {report.executions}")
+    print(f"crashes:            {len(report.crashes)}")
+    print(f"first crash at:     {report.first_crash_at}")
+    print(f"corpus size:        {report.corpus_size}")
+    print(f"rf-pair coverage:   {report.pair_coverage}")
+    print(f"unique rf classes:  {report.unique_signatures}")
+    for crash in report.crashes[:5]:
+        print(f"  crash #{crash.execution_index}: {crash.outcome} — {crash.failure}")
+        print(f"    schedule: {crash.abstract_schedule}")
+    if args.minimize and report.crashes:
+        from repro.core.minimize import minimize_schedule
+
+        outcome = minimize_schedule(prog, report.crashes[0].abstract_schedule)
+        print(f"minimized schedule ({outcome.removed} constraints removed, "
+              f"reproduces {outcome.reproduction_rate:.0%}):")
+        print(f"    {outcome.minimized}")
+    if args.save_crashes and report.crashes:
+        from repro.harness.persist import save_crashes
+
+        written = save_crashes(report, args.save_crashes)
+        print(f"saved {len(written)} crash file(s) under {args.save_crashes}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Dynamic analyses over sampled schedules: races, locksets, deadlocks."""
+    from repro.analysis import check_lock_discipline, find_races, predict_deadlocks
+    from repro.runtime.executor import Executor
+    from repro.schedulers.pos import PosPolicy
+
+    prog = bench.get(args.program)
+    races: set[tuple[str, str, str]] = set()
+    discipline: set[str] = set()
+    deadlock_cycles: set[tuple[str, ...]] = set()
+    crashes = 0
+    for seed in range(args.executions):
+        result = Executor(prog, PosPolicy(args.seed + seed)).run()
+        crashes += result.crashed
+        races |= find_races(result.trace).distinct()
+        discipline |= check_lock_discipline(result.trace).flagged_locations
+        for prediction in predict_deadlocks(result.trace).predictions:
+            deadlock_cycles.add(prediction.cycle)
+    print(f"analyzed {args.executions} schedules of {prog.name} ({crashes} crashed)")
+    print(f"happens-before races ({len(races)} distinct):")
+    for location, first, second in sorted(races)[:20]:
+        print(f"  {location}: {first} || {second}")
+    print(f"lock-discipline violations: {sorted(discipline) or 'none'}")
+    print(f"predicted deadlock cycles: {[' -> '.join(c) for c in sorted(deadlock_cycles)] or 'none'}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    prog = bench.get(args.program)
+    tool = _make_tool(args.tool)
+    result = tool.find_bug(prog, budget=args.budget, seed=args.seed)
+    if result.error:
+        print(f"{tool.name} on {prog.name}: Error ({result.error})")
+        return 2
+    status = f"bug ({result.outcome}) at schedule {result.schedules_to_bug}" if result.found else "no bug"
+    print(f"{tool.name} on {prog.name}: {status} after {result.executions} schedules")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    programs = [bench.get(n) for n in (args.programs or bench.names())]
+    tools = [_make_tool(n) for n in args.tools] if args.tools else paper_tools()
+    config = CampaignConfig(trials=args.trials, budget=args.budget, base_seed=args.seed)
+    progress = None
+    if args.verbose:
+        progress = lambda tool, program, trial: print(  # noqa: E731
+            f"... {tool} / {program} / trial {trial}", file=sys.stderr
+        )
+    result = Campaign(config).run(tools, programs, progress=progress)
+    print(appendix_b_table(result))
+    print()
+    print(figure4_ascii(result))
+    return 0
+
+
+def _cmd_dpor(args: argparse.Namespace) -> int:
+    """Exhaustive-ish race-reversal exploration (rf-DPOR)."""
+    from repro.algos.rfdpor import RfDporExplorer
+
+    prog = bench.get(args.program)
+    report = RfDporExplorer(
+        prog,
+        max_executions=args.budget,
+        stop_on_first_bug=not args.exhaustive,
+    ).run()
+    print(f"program:            {prog.name}")
+    print(f"executions:         {report.executions}")
+    print(f"rf classes:         {report.rf_classes}")
+    print(f"reversal seeds:     {report.seeds_generated}")
+    print(f"first bug at class: {report.first_bug_at} ({report.bug_outcome})")
+    print(f"space exhausted:    {report.complete}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a persisted crash JSON file and print its trace."""
+    from repro.harness.persist import load_crash
+    from repro.runtime import run_program
+    from repro.schedulers import ReplayPolicy
+
+    program_name, crash = load_crash(args.file)
+    prog = bench.get(program_name)
+    result = run_program(prog, ReplayPolicy(list(crash.concrete_schedule)))
+    print(f"program:  {program_name}")
+    print(f"expected: {crash.outcome} — {crash.failure}")
+    print(f"replayed: {result.outcome} — {result.trace.failure}")
+    print(f"abstract schedule: {crash.abstract_schedule}")
+    if args.trace:
+        print()
+        print(result.trace.format(limit=args.trace))
+    return 0 if result.outcome == crash.outcome else 1
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    prog = bench.get(args.program)
+    pos = rf_distribution_pos(prog, executions=args.executions, seed=args.seed)
+    rff = rf_distribution_rff(prog, executions=args.executions, seed=args.seed)
+    print(figure5_ascii(pos))
+    print()
+    print(figure5_ascii(rff))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``rff`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(prog="rff", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark programs").set_defaults(func=_cmd_list)
+
+    p_fuzz = sub.add_parser("fuzz", help="fuzz one program with RFF")
+    p_fuzz.add_argument("program")
+    p_fuzz.add_argument("--budget", type=int, default=1000)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--keep-going", action="store_true", help="do not stop at the first crash")
+    p_fuzz.add_argument("--no-feedback", action="store_true")
+    p_fuzz.add_argument("--no-power", action="store_true")
+    p_fuzz.add_argument("--no-constraints", action="store_true")
+    p_fuzz.add_argument("--memory-model", choices=("sc", "tso"), default="sc")
+    p_fuzz.add_argument("--minimize", action="store_true",
+                        help="delta-debug the first crashing abstract schedule")
+    p_fuzz.add_argument("--save-crashes", metavar="DIR",
+                        help="persist crashing schedules as JSON under DIR")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_analyze = sub.add_parser("analyze", help="dynamic trace analyses (races, locks)")
+    p_analyze.add_argument("program")
+    p_analyze.add_argument("--executions", type=int, default=20)
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_run = sub.add_parser("run", help="run one baseline tool on one program")
+    p_run.add_argument("program")
+    p_run.add_argument("--tool", default="POS")
+    p_run.add_argument("--budget", type=int, default=1000)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_campaign = sub.add_parser("campaign", help="run a tools x programs x trials campaign")
+    p_campaign.add_argument("--trials", type=int, default=3)
+    p_campaign.add_argument("--budget", type=int, default=500)
+    p_campaign.add_argument("--seed", type=int, default=1234)
+    p_campaign.add_argument("--programs", nargs="*")
+    p_campaign.add_argument("--tools", nargs="*")
+    p_campaign.add_argument("--verbose", action="store_true")
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_dpor = sub.add_parser("dpor", help="race-reversal rf-DPOR exploration")
+    p_dpor.add_argument("program")
+    p_dpor.add_argument("--budget", type=int, default=5000)
+    p_dpor.add_argument("--exhaustive", action="store_true",
+                        help="keep exploring after the first bug")
+    p_dpor.set_defaults(func=_cmd_dpor)
+
+    p_replay = sub.add_parser("replay", help="replay a persisted crash JSON file")
+    p_replay.add_argument("file")
+    p_replay.add_argument("--trace", type=int, metavar="N", default=0,
+                          help="print the first N trace events")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_fig5 = sub.add_parser("figure5", help="rf-distribution histograms (RQ3)")
+    p_fig5.add_argument("--program", default="SafeStack")
+    p_fig5.add_argument("--executions", type=int, default=2000)
+    p_fig5.add_argument("--seed", type=int, default=0)
+    p_fig5.set_defaults(func=_cmd_figure5)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

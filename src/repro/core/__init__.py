@@ -1,0 +1,61 @@
+"""RFF core: events, reads-from traces, abstract schedules and the fuzzer.
+
+The scheduler- and fuzzer-facing names (``RffFuzzer``, ``fuzz``,
+``RffSchedulerPolicy``, the constraint trackers) are loaded lazily: they
+depend on :mod:`repro.runtime`, which itself imports the leaf data modules
+of this package (events, traces), so eager imports would be circular.
+"""
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.corpus import Corpus, CorpusEntry
+from repro.core.events import AbstractEvent, Event
+from repro.core.feedback import Observation, RfFeedback
+from repro.core.mutation import MUTATION_OPERATORS, EventPool, ScheduleMutator
+from repro.core.power import FlatSchedule, PowerSchedule
+from repro.core.trace import RfPair, Trace
+
+#: Lazily imported name -> defining submodule (PEP 562).
+_LAZY = {
+    "Bias": "repro.core.proactive",
+    "ConstraintTracker": "repro.core.proactive",
+    "NegativeTracker": "repro.core.proactive",
+    "PositiveTracker": "repro.core.proactive",
+    "RffSchedulerPolicy": "repro.core.proactive",
+    "TrackerState": "repro.core.proactive",
+    "CrashRecord": "repro.core.fuzzer",
+    "FuzzReport": "repro.core.fuzzer",
+    "RffConfig": "repro.core.fuzzer",
+    "RffFuzzer": "repro.core.fuzzer",
+    "fuzz": "repro.core.fuzzer",
+    "MinimizationResult": "repro.core.minimize",
+    "crash_rate": "repro.core.minimize",
+    "minimize_schedule": "repro.core.minimize",
+}
+
+__all__ = [
+    "AbstractEvent",
+    "AbstractSchedule",
+    "Constraint",
+    "Corpus",
+    "CorpusEntry",
+    "Event",
+    "EventPool",
+    "FlatSchedule",
+    "MUTATION_OPERATORS",
+    "Observation",
+    "PowerSchedule",
+    "RfFeedback",
+    "RfPair",
+    "ScheduleMutator",
+    "Trace",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

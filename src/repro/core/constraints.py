@@ -1,0 +1,122 @@
+"""Abstract schedules: sets of (possibly negated) reads-from constraints.
+
+Paper Section 3, "Abstract events and schedules": an abstract schedule
+``α = α+ ⊎ α−`` is a set of positive constraints ``w --rf--> r`` and negative
+constraints ``w -/rf/-> r`` over abstract events.  A concrete schedule
+*instantiates* α when every positive constraint is witnessed by some actual
+reads-from pair and no negative constraint is.
+
+The write side of a constraint may be ``None``, denoting the location's
+*initial* pseudo-write — e.g. the α_violation of the paper's Figure 1
+requires ``r(b)`` to observe the initial value of ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import AbstractEvent
+from repro.core.trace import RfPair, Trace
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """One reads-from constraint ``w --rf--> r`` (or its negation).
+
+    ``write is None`` denotes the initial pseudo-write of the location.
+    Both sides must name the same memory location; the read side must be a
+    read-capable abstract event and the write side write-capable.
+    """
+
+    read: AbstractEvent
+    write: AbstractEvent | None
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.read.is_read:
+            raise ValueError(f"constraint read side {self.read} is not a read")
+        if self.write is not None:
+            if not self.write.is_write:
+                raise ValueError(f"constraint write side {self.write} is not a write")
+            if self.write.location != self.read.location:
+                raise ValueError(
+                    f"constraint spans locations {self.write.location} and {self.read.location}"
+                )
+
+    @property
+    def location(self) -> str:
+        return self.read.location
+
+    @property
+    def rf_pair(self) -> RfPair:
+        return (self.write, self.read)
+
+    def negated(self) -> "Constraint":
+        """``¬C``: flip positive <-> negative (paper's negate operator)."""
+        return Constraint(self.read, self.write, not self.positive)
+
+    def witnessed_by(self, trace: Trace) -> bool:
+        """True when some concrete rf pair of ``trace`` instantiates this pair."""
+        return self.rf_pair in trace.rf_pairs()
+
+    def __str__(self) -> str:
+        arrow = "--rf->" if self.positive else "-/rf/->"
+        writer = str(self.write) if self.write is not None else f"init({self.read.location})"
+        return f"{writer} {arrow} {self.read}"
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractSchedule:
+    """An immutable set of reads-from constraints; the fuzzer's genotype."""
+
+    constraints: frozenset[Constraint] = frozenset()
+
+    @classmethod
+    def empty(cls) -> "AbstractSchedule":
+        """The ε schedule seeding the corpus (Algorithm 1, line 2)."""
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, *constraints: Constraint) -> "AbstractSchedule":
+        return cls(frozenset(constraints))
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    @property
+    def positives(self) -> frozenset[Constraint]:
+        return frozenset(c for c in self.constraints if c.positive)
+
+    @property
+    def negatives(self) -> frozenset[Constraint]:
+        return frozenset(c for c in self.constraints if not c.positive)
+
+    def insert(self, constraint: Constraint) -> "AbstractSchedule":
+        return AbstractSchedule(self.constraints | {constraint})
+
+    def delete(self, constraint: Constraint) -> "AbstractSchedule":
+        return AbstractSchedule(self.constraints - {constraint})
+
+    def swap(self, old: Constraint, new: Constraint) -> "AbstractSchedule":
+        return AbstractSchedule((self.constraints - {old}) | {new})
+
+    def negate(self, constraint: Constraint) -> "AbstractSchedule":
+        return self.swap(constraint, constraint.negated())
+
+    def instantiated_by(self, trace: Trace) -> bool:
+        """Whether ``trace`` satisfies all positive and no negative constraints."""
+        pairs = trace.rf_pairs()
+        for constraint in self.constraints:
+            witnessed = constraint.rf_pair in pairs
+            if constraint.positive != witnessed:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return "α{}"
+        body = ", ".join(sorted(str(c) for c in self.constraints))
+        return f"α{{{body}}}"

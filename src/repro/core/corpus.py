@@ -1,0 +1,63 @@
+"""The corpus of interesting abstract schedules (Algorithm 1's working set)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import AbstractSchedule
+from repro.core.trace import RfPair
+
+
+@dataclass
+class CorpusEntry:
+    """One interesting abstract schedule plus its power-schedule bookkeeping.
+
+    * ``signature`` — the rf combination the schedule exercised when it was
+      admitted (the f(α) lookup key).
+    * ``new_pairs`` — how many new rf pairs its admission contributed; the
+      basis of the performance score γ(α).
+    * ``chosen_since_skip`` — s(α): times picked since it was last skipped.
+    """
+
+    schedule: AbstractSchedule
+    signature: frozenset[RfPair] = frozenset()
+    new_pairs: int = 1
+    satisfied_fraction: float = 1.0
+    chosen_since_skip: int = 0
+    times_chosen: int = 0
+    times_skipped: int = 0
+    crashes: int = 0
+
+    @property
+    def gamma(self) -> float:
+        """γ(α): performance score — novelty contribution weighted by how
+        well the proactive scheduler could realise the schedule."""
+        return max(1.0, float(self.new_pairs)) * max(0.25, self.satisfied_fraction)
+
+
+@dataclass
+class Corpus:
+    """Round-robin working set of corpus entries (the set S of Algorithm 1)."""
+
+    entries: list[CorpusEntry] = field(default_factory=list)
+    _cursor: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def add(self, entry: CorpusEntry) -> None:
+        self.entries.append(entry)
+
+    def next_entry(self) -> CorpusEntry:
+        """The next schedule in round-robin order (PickNext of Algorithm 1)."""
+        if not self.entries:
+            raise LookupError("corpus is empty; seed it with the ε schedule")
+        entry = self.entries[self._cursor % len(self.entries)]
+        self._cursor += 1
+        return entry
+
+    def schedules(self) -> list[AbstractSchedule]:
+        return [entry.schedule for entry in self.entries]

@@ -1,0 +1,99 @@
+"""Events and abstract events (paper Section 3).
+
+A (concrete) event is the tuple ``e = <id, t, op(x)@l>``: a unique id, the
+executing thread, an operation kind, the memory location operated on and the
+code location it was issued from.  An *abstract* event drops the id and the
+thread — ``ea = op(x)@l`` — so that, e.g., the first write of every setter
+thread in ``reorder_100`` collapses to a single abstract event.  That
+collapse is what shrinks the search space from exponentially many concrete
+schedules to a handful of abstract ones (25 for ``reorder_100``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractEvent:
+    """``op(x)@l`` — an operation kind, memory location and code location."""
+
+    kind: str
+    location: str
+    loc: str
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in _READ_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in _WRITE_KINDS
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.location})@{self.loc}"
+
+
+#: Operation kinds whose events consume a value (participate as rf targets).
+_READ_KINDS = frozenset({"r", "hr", "rmw", "cas", "lock", "trylock", "wait", "sem_acquire", "barrier"})
+#: Operation kinds whose events produce a value (participate as rf sources).
+_WRITE_KINDS = frozenset(
+    {
+        "w",
+        "hw",
+        "rmw",
+        "cas",
+        "lock",
+        "unlock",
+        "wait",
+        "signal",
+        "broadcast",
+        "sem_acquire",
+        "sem_release",
+        "barrier",
+        "free",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A concrete event ``<id, t, op(x)@l>`` plus its reads-from edge.
+
+    ``rf`` is the event id of the write this event observed (0 denotes the
+    location's initial pseudo-write) and is only set for events whose kind
+    reads a value.  ``value`` records the observed/written value for
+    debugging and replay validation; it is excluded from equality-relevant
+    reasoning, which only ever uses ids, kinds and locations.
+
+    ``aux`` carries structured cross-thread metadata for trace analyses:
+    the spawned thread id for ``spawn`` events, the joined thread id for
+    ``join`` events, and the tuple of woken thread ids for ``signal`` /
+    ``broadcast`` events.
+    """
+
+    eid: int
+    tid: int
+    kind: str
+    location: str
+    loc: str
+    rf: int | None = None
+    value: Any = None
+    aux: Any = None
+
+    @property
+    def abstract(self) -> AbstractEvent:
+        return AbstractEvent(self.kind, self.location, self.loc)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in _READ_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in _WRITE_KINDS
+
+    def __str__(self) -> str:
+        rf = f" rf={self.rf}" if self.rf is not None else ""
+        return f"#{self.eid} T{self.tid} {self.kind}({self.location})@{self.loc}{rf}"

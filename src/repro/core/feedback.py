@@ -1,0 +1,72 @@
+"""Greybox feedback: reads-from novelty (paper Section 3).
+
+``isInteresting(σmut, S)`` returns true when (a) the execution exercised an
+abstract reads-from pair never seen in any schedule of the corpus, or
+(b) the schedule crashed — mirroring input-level greybox fuzzers, which keep
+crashing inputs regardless of coverage.  The tracker also counts how often
+each full rf *signature* (the ≡rf class) has been observed, which feeds both
+the power schedule's frequency term f(α) and the RQ3 histogram (Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.trace import RfPair, Trace
+
+
+@dataclass
+class Observation:
+    """What the feedback tracker learned from one execution."""
+
+    new_pairs: frozenset[RfPair]
+    signature: frozenset[RfPair]
+    crashed: bool
+    #: True when this execution's rf *combination* (the full signature) was
+    #: never observed before, even if every individual pair was.
+    new_signature: bool = False
+
+    @property
+    def interesting(self) -> bool:
+        """isInteresting (Section 3): a never-seen abstract rf pair, a
+        never-seen rf combination, or a crash.  Combination-level novelty is
+        what populates the corpus with one representative per rf class, the
+        precondition for the Section 4.2 power schedule to steer energy
+        toward rarely observed combinations (Figure 5)."""
+        return bool(self.new_pairs) or self.new_signature or self.crashed
+
+
+@dataclass
+class RfFeedback:
+    """Cross-execution reads-from coverage state."""
+
+    seen_pairs: set[RfPair] = field(default_factory=set)
+    signature_counts: Counter = field(default_factory=Counter)
+    executions: int = 0
+
+    def observe(self, trace: Trace) -> Observation:
+        """Record one trace; returns the novelty summary."""
+        pairs = trace.rf_pairs()
+        new = frozenset(p for p in pairs if p not in self.seen_pairs)
+        self.seen_pairs.update(new)
+        signature = frozenset(pairs)
+        first_time = self.signature_counts[signature] == 0
+        self.signature_counts[signature] += 1
+        self.executions += 1
+        return Observation(
+            new_pairs=new, signature=signature, crashed=trace.crashed, new_signature=first_time
+        )
+
+    def frequency(self, signature: frozenset[RfPair]) -> int:
+        """f(α): how often this rf combination has been observed."""
+        return self.signature_counts[signature]
+
+    @property
+    def unique_signatures(self) -> int:
+        return len(self.signature_counts)
+
+    @property
+    def pair_coverage(self) -> int:
+        """Total distinct abstract rf pairs ever observed (the coverage map)."""
+        return len(self.seen_pairs)

@@ -1,0 +1,93 @@
+"""Crash-schedule minimization (delta debugging over constraints).
+
+A crashing abstract schedule produced by the fuzzer often carries
+constraints that are incidental to the failure — leftovers of the mutation
+history.  :func:`minimize_schedule` greedily removes constraints while the
+crash still reproduces under the proactive scheduler, yielding the smallest
+explanation of the bug (the `α_violation` of the paper's Section 2 rather
+than whatever mutant happened to trip it first).
+
+Because the proactive scheduler is randomized around the constraints, each
+candidate schedule is probed over several seeds; a constraint is dropped
+only when the reduced schedule still crashes reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import AbstractSchedule
+from repro.core.fuzzer import RffConfig
+from repro.core.proactive import RffSchedulerPolicy
+from repro.runtime.executor import DEFAULT_MAX_STEPS, Executor
+from repro.runtime.program import Program
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of one minimization run."""
+
+    original: AbstractSchedule
+    minimized: AbstractSchedule
+    #: Fraction of probe seeds under which the minimized schedule crashes.
+    reproduction_rate: float
+    executions: int
+
+    @property
+    def removed(self) -> int:
+        return len(self.original) - len(self.minimized)
+
+
+def crash_rate(
+    program: Program,
+    schedule: AbstractSchedule,
+    probes: int = 5,
+    base_seed: int = 0,
+    max_steps: int | None = None,
+) -> float:
+    """Fraction of ``probes`` seeds under which ``schedule`` crashes."""
+    steps = max_steps or program.max_steps or DEFAULT_MAX_STEPS
+    crashes = 0
+    for probe in range(probes):
+        policy = RffSchedulerPolicy(schedule, seed=base_seed + 31 * probe)
+        result = Executor(program, policy, max_steps=steps).run()
+        crashes += result.crashed
+    return crashes / probes
+
+
+def minimize_schedule(
+    program: Program,
+    schedule: AbstractSchedule,
+    probes: int = 5,
+    threshold: float = 0.6,
+    base_seed: int = 0,
+    config: RffConfig | None = None,
+) -> MinimizationResult:
+    """Greedy one-constraint-at-a-time reduction (ddmin's 1-minimal core).
+
+    A constraint is removed when the reduced schedule still crashes on at
+    least ``threshold`` of the probe seeds.  Runs until a fixpoint: the
+    result is 1-minimal — removing any single remaining constraint drops
+    the reproduction rate below the threshold.
+    """
+    del config  # reserved for future knobs (kept for API stability)
+    executions = 0
+    current = schedule
+    improved = True
+    while improved:
+        improved = False
+        for constraint in sorted(current.constraints, key=str):
+            candidate = current.delete(constraint)
+            rate = crash_rate(program, candidate, probes=probes, base_seed=base_seed)
+            executions += probes
+            if rate >= threshold:
+                current = candidate
+                improved = True
+    final_rate = crash_rate(program, current, probes=probes, base_seed=base_seed + 7)
+    executions += probes
+    return MinimizationResult(
+        original=schedule,
+        minimized=current,
+        reproduction_rate=final_rate,
+        executions=executions,
+    )

@@ -1,0 +1,141 @@
+"""Schedule mutation: the randomness engine of the fuzzing loop.
+
+Paper Section 3, "Mutating abstract schedules": ``mutateSchedule`` first
+picks one of four operators — insert, swap, delete, negate — then draws the
+constraints those operators need from ``E``, the pool of *potentially
+conflicting* abstract events observed in previous executions (reads and
+writes on the same memory location).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent
+from repro.core.trace import Trace
+
+MUTATION_OPERATORS = ("insert", "swap", "delete", "negate")
+
+
+@dataclass
+class EventPool:
+    """Accumulates abstract read/write events per location across executions.
+
+    This is the set ``E`` of all events observed so far, organised so that a
+    random constraint can be drawn in O(1): pick a location that has at least
+    one read, pick a read, pick a write (or the initial pseudo-write).
+    """
+
+    reads: dict[str, list[AbstractEvent]] = field(default_factory=dict)
+    writes: dict[str, list[AbstractEvent]] = field(default_factory=dict)
+    _seen: set[AbstractEvent] = field(default_factory=set)
+
+    def observe(self, trace: Trace) -> int:
+        """Add every memory abstract event of ``trace``; returns #new events."""
+        added = 0
+        for event in trace.events:
+            abstract = event.abstract
+            if abstract in self._seen:
+                continue
+            self._seen.add(abstract)
+            added += 1
+            if abstract.is_read:
+                self.reads.setdefault(abstract.location, []).append(abstract)
+            if abstract.is_write:
+                self.writes.setdefault(abstract.location, []).append(abstract)
+        return added
+
+    @property
+    def constrainable_locations(self) -> list[str]:
+        """Locations with at least one observed read (sorted for determinism)."""
+        return sorted(self.reads)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def random_constraint(self, rng: random.Random, positive_bias: float = 0.7) -> Constraint | None:
+        """Draw a random constraint over potentially conflicting events.
+
+        The write side includes the initial pseudo-write (None) as one extra
+        choice, matching the paper's counting for Figure 1 (each read has the
+        initial write among its reads-from options).  Returns None when no
+        reads have been observed yet (first execution).
+        """
+        locations = self.constrainable_locations
+        if not locations:
+            return None
+        location = locations[rng.randrange(len(locations))]
+        read = rng.choice(self.reads[location])
+        write_options: list[AbstractEvent | None] = [None, *self.writes.get(location, ())]
+        write = rng.choice(write_options)
+        positive = rng.random() < positive_bias
+        return Constraint(read, write, positive)
+
+
+class ScheduleMutator:
+    """Applies one random structural mutation per call (paper Section 3)."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        max_constraints: int = 8,
+        positive_bias: float = 0.7,
+    ):
+        if max_constraints < 1:
+            raise ValueError("max_constraints must be at least 1")
+        self.rng = rng
+        self.max_constraints = max_constraints
+        self.positive_bias = positive_bias
+        #: Counts per chosen operator, exposed for diagnostics/tests.
+        self.operator_counts: dict[str, int] = {op: 0 for op in MUTATION_OPERATORS}
+
+    def mutate(self, alpha: AbstractSchedule, pool: EventPool) -> AbstractSchedule:
+        """Produce a mutant of ``alpha``; may equal α when the pool is empty."""
+        op = self.rng.choice(MUTATION_OPERATORS)
+        # Degenerate cases: delete/swap/negate need an existing constraint,
+        # insert needs room; fall back to the applicable operator.
+        if not alpha.constraints and op in ("swap", "delete", "negate"):
+            op = "insert"
+        if op == "insert" and len(alpha) >= self.max_constraints:
+            op = "swap" if alpha.constraints else "delete"
+        mutant = self._apply(op, alpha, pool)
+        self.operator_counts[op] += 1
+        return mutant
+
+    def _apply(self, op: str, alpha: AbstractSchedule, pool: EventPool) -> AbstractSchedule:
+        if op == "insert":
+            constraint = pool.random_constraint(self.rng, self.positive_bias)
+            return alpha if constraint is None else alpha.insert(constraint)
+        existing = self._pick(alpha)
+        if op == "delete":
+            return alpha.delete(existing)
+        if op == "negate":
+            return alpha.negate(existing)
+        constraint = pool.random_constraint(self.rng, self.positive_bias)
+        if constraint is None:
+            return alpha.delete(existing)
+        return alpha.swap(existing, constraint)
+
+    def _pick(self, alpha: AbstractSchedule) -> Constraint:
+        ordered = sorted(alpha.constraints, key=str)
+        return ordered[self.rng.randrange(len(ordered))]
+
+    def splice(self, alpha: AbstractSchedule, other: AbstractSchedule) -> AbstractSchedule:
+        """Two-parent crossover: a random subset of each parent's constraints.
+
+        The paper's mutation step draws "one (or more)" members of the
+        corpus (Section 4); splicing is the more-than-one case, directly
+        analogous to AFL's splice stage.  The child never exceeds the
+        constraint cap.
+        """
+        pool = sorted(alpha.constraints | other.constraints, key=str)
+        if not pool:
+            return AbstractSchedule.empty()
+        kept = [c for c in pool if self.rng.random() < 0.5]
+        if not kept:
+            kept = [pool[self.rng.randrange(len(pool))]]
+        if len(kept) > self.max_constraints:
+            kept = self.rng.sample(kept, self.max_constraints)
+        return AbstractSchedule(frozenset(kept))

@@ -1,0 +1,63 @@
+"""The cut-off exponential power schedule (paper Section 4.2).
+
+Energy assignment::
+
+    p(α) = 0                              if f(α) > µ
+         = min(γ(α)/β · 2^s(α), M)        otherwise
+
+    µ = mean of f over the working set S+
+
+Schedules whose rf combination is *more common than average* are skipped
+outright; under-explored combinations receive exponentially increasing
+energy (via s(α), the times chosen since last skipped) until they too become
+over-explored.  This is what flattens the Figure 5 histogram: rare rf
+combinations get fuzzed hard exactly while they remain rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.corpus import Corpus, CorpusEntry
+from repro.core.feedback import RfFeedback
+
+
+@dataclass(frozen=True)
+class PowerSchedule:
+    """Computes per-pick energy η_α for corpus entries."""
+
+    #: γ normaliser (the paper's hyperparameter β).
+    beta: float = 2.0
+    #: Cut-off M: maximum mutations spent on one schedule per stage.
+    max_energy: int = 64
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.max_energy < 1:
+            raise ValueError("max_energy must be at least 1")
+
+    def mean_frequency(self, corpus: Corpus, feedback: RfFeedback) -> float:
+        """µ: average observation frequency of the corpus' rf combinations."""
+        if not len(corpus):
+            return 0.0
+        total = sum(feedback.frequency(entry.signature) for entry in corpus)
+        return total / len(corpus)
+
+    def energy(self, entry: CorpusEntry, corpus: Corpus, feedback: RfFeedback) -> int:
+        """η_α for one pick; 0 means the schedule is skipped this round."""
+        mu = self.mean_frequency(corpus, feedback)
+        if feedback.frequency(entry.signature) > mu:
+            return 0
+        raw = (entry.gamma / self.beta) * (2.0 ** entry.chosen_since_skip)
+        return max(1, min(int(raw), self.max_energy))
+
+
+@dataclass(frozen=True)
+class FlatSchedule:
+    """Ablation: constant energy, no frequency cut-off (RQ3 "no feedback")."""
+
+    energy_per_pick: int = 1
+
+    def energy(self, entry: CorpusEntry, corpus: Corpus, feedback: RfFeedback) -> int:
+        return self.energy_per_pick

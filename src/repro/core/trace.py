@@ -1,0 +1,105 @@
+"""Concrete traces and the reads-from relation (paper Section 3).
+
+A :class:`Trace` is the recorded sequence of events of one execution.  Its
+reads-from function maps each read event to the write event it observed; two
+traces are reads-from equivalent (``≡rf``) when they contain the same events
+and the same reads-from function.  The hashable :meth:`Trace.rf_signature`
+canonically summarises the equivalence class and drives both the fuzzer's
+novelty feedback (Section 3, "Reads-from feedback") and the RQ3 frequency
+histograms (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import AbstractEvent, Event
+
+#: An abstract reads-from pair: (writer abstract event, reader abstract event).
+#: The writer side is ``None`` when the read observed the location's initial
+#: value (the paper's initial pseudo-write at "line 1").
+RfPair = tuple[AbstractEvent | None, AbstractEvent]
+
+
+@dataclass
+class Trace:
+    """An ordered event sequence plus the outcome of the execution."""
+
+    events: list[Event] = field(default_factory=list)
+    #: Bug kind string (e.g. "assertion", "deadlock", "use-after-free") or
+    #: None when the execution completed normally.
+    outcome: str | None = None
+    #: Human-readable description of the failure, when any.
+    failure: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def crashed(self) -> bool:
+        return self.outcome is not None
+
+    def event_by_id(self, eid: int) -> Event:
+        # Event ids are assigned densely from 1 in execution order.
+        event = self.events[eid - 1]
+        if event.eid != eid:  # pragma: no cover - defensive; ids are dense
+            raise KeyError(eid)
+        return event
+
+    def reads_from(self) -> dict[int, int]:
+        """Map each read event id to the event id of its writer (0 = initial)."""
+        return {e.eid: e.rf for e in self.events if e.rf is not None}
+
+    def rf_pairs(self) -> set[RfPair]:
+        """The set of *abstract* reads-from pairs exercised by this trace."""
+        pairs: set[RfPair] = set()
+        for event in self.events:
+            if event.rf is None:
+                continue
+            writer = None if event.rf == 0 else self.event_by_id(event.rf).abstract
+            pairs.add((writer, event.abstract))
+        return pairs
+
+    def rf_signature(self) -> frozenset[RfPair]:
+        """Canonical hashable summary of the ``≡rf`` class of this trace."""
+        return frozenset(self.rf_pairs())
+
+    def abstract_events(self) -> set[AbstractEvent]:
+        """All abstract events observed, the pool mutations draw from."""
+        return {e.abstract for e in self.events}
+
+    def memory_abstract_events(self) -> tuple[set[AbstractEvent], set[AbstractEvent]]:
+        """Observed abstract (reads, writes) usable in reads-from constraints."""
+        reads: set[AbstractEvent] = set()
+        writes: set[AbstractEvent] = set()
+        for event in self.events:
+            abstract = event.abstract
+            if abstract.is_read:
+                reads.add(abstract)
+            if abstract.is_write:
+                writes.add(abstract)
+        return reads, writes
+
+    def rf_equivalent(self, other: "Trace") -> bool:
+        """True when ``self ≡rf other`` (same events and reads-from pairs).
+
+        Event identity is compared at the abstract level with multiplicity:
+        two runs of the same program that execute the same multiset of
+        abstract events with the same abstract reads-from function expose
+        identical thread-local control and data flow (Section 3).
+        """
+        if sorted(str(e.abstract) for e in self.events) != sorted(str(e.abstract) for e in other.events):
+            return False
+        return self.rf_signature() == other.rf_signature()
+
+    def format(self, limit: int | None = None) -> str:
+        """Pretty-print the trace, mainly for examples and failure triage."""
+        lines = [str(e) for e in self.events[: limit or len(self.events)]]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        if self.outcome:
+            lines.append(f"outcome: {self.outcome} ({self.failure})")
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Campaigns: tools × programs × trials, the data behind every figure.
+
+The paper runs each tool for 5 wall-clock minutes per program, 20 trials
+(Section 5.1).  Our budgets are *schedule counts* — the paper's own metric —
+sized so a full campaign runs on one laptop core; everything scales through
+:class:`CampaignConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.stats import SummaryCell, summarize
+from repro.harness.tools import BugSearchResult, TestingTool
+from repro.runtime.program import Program
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Trial counts and budgets for one campaign."""
+
+    trials: int = 20
+    #: Default schedules-to-run per (tool, program, trial).
+    budget: int = 2000
+    base_seed: int = 1234
+    #: Per-program budget overrides (large programs get smaller budgets so
+    #: laptop-scale campaigns stay fast).
+    budget_overrides: dict[str, int] = field(default_factory=dict)
+
+    def budget_for(self, program_name: str) -> int:
+        return self.budget_overrides.get(program_name, self.budget)
+
+
+@dataclass
+class CampaignResult:
+    """All trial results, keyed by (tool name, program name)."""
+
+    config: CampaignConfig
+    results: dict[tuple[str, str], list[BugSearchResult]] = field(default_factory=dict)
+
+    def trials(self, tool: str, program: str) -> list[BugSearchResult]:
+        return self.results.get((tool, program), [])
+
+    def tools(self) -> list[str]:
+        return sorted({tool for tool, _ in self.results})
+
+    def programs(self) -> list[str]:
+        return sorted({program for _, program in self.results})
+
+    def schedules_to_bug(self, tool: str, program: str) -> list[int | None]:
+        return [r.schedules_to_bug for r in self.trials(tool, program)]
+
+    def cell(self, tool: str, program: str) -> SummaryCell:
+        return summarize(self.schedules_to_bug(tool, program))
+
+    def is_error(self, tool: str, program: str) -> bool:
+        trials = self.trials(tool, program)
+        return bool(trials) and all(r.error is not None for r in trials)
+
+    def bugs_found_per_trial(self, tool: str) -> list[int]:
+        """#programs in which the bug was found, per trial index — the
+        quantity behind "RFF finds 46.1 bugs on average" (Section 5.2)."""
+        per_trial: dict[int, int] = {}
+        for (result_tool, _), trials in self.results.items():
+            if result_tool != tool:
+                continue
+            for index, result in enumerate(trials):
+                per_trial[index] = per_trial.get(index, 0) + (1 if result.found else 0)
+        return [per_trial[i] for i in sorted(per_trial)]
+
+    def mean_bugs_found(self, tool: str) -> float:
+        per_trial = self.bugs_found_per_trial(tool)
+        return sum(per_trial) / len(per_trial) if per_trial else 0.0
+
+    def cumulative_curve(self, tool: str) -> list[tuple[int, int]]:
+        """Figure 4 data: for each bug found (any program, any trial), the
+        schedule count at which it was found; returned as the sorted list of
+        (schedules, cumulative bugs)."""
+        hits = sorted(
+            r.schedules_to_bug
+            for trials in (self.trials(tool, p) for p in self.programs())
+            for r in trials
+            if r.tool == tool and r.schedules_to_bug is not None
+        )
+        return [(schedules, index + 1) for index, schedules in enumerate(hits)]
+
+    def one_shot_wins(self, tool: str) -> int:
+        """#programs where the tool found the bug on the very first schedule
+        of at least one trial (the QL-RF observation of Section 5.5)."""
+        count = 0
+        for program in self.programs():
+            if any(r.schedules_to_bug == 1 for r in self.trials(tool, program)):
+                count += 1
+        return count
+
+
+class Campaign:
+    """Runs tools over programs and collects every trial result."""
+
+    def __init__(self, config: CampaignConfig | None = None):
+        self.config = config or CampaignConfig()
+
+    def run(
+        self,
+        tools: list[TestingTool],
+        programs: list[Program],
+        progress=None,
+    ) -> CampaignResult:
+        """Execute the full cross product; ``progress`` is an optional
+        callback ``(tool_name, program_name, trial_index)``."""
+        outcome = CampaignResult(config=self.config)
+        for tool in tools:
+            trials = 1 if tool.deterministic else self.config.trials
+            for program in programs:
+                budget = self.config.budget_for(program.name)
+                results = []
+                for trial in range(trials):
+                    if progress is not None:
+                        progress(tool.name, program.name, trial)
+                    seed = self.config.base_seed + 7919 * trial
+                    results.append(tool.find_bug(program, budget, seed))
+                if tool.deterministic and self.config.trials > 1:
+                    # Replicate the single deterministic result so per-trial
+                    # aggregates stay comparable across tools.
+                    results = results * self.config.trials
+                outcome.results[(tool.name, program.name)] = results
+        return outcome

@@ -1,0 +1,72 @@
+"""Schedule-space coverage estimation.
+
+RQ3 asks how evenly a tool explores the reads-from-partitioned schedule
+space; this module adds the quantitative companions: species-richness
+estimators over rf-signature observation counts.  ``chao1`` estimates how
+many rf classes exist *including the unseen ones*, and ``coverage_deficit``
+(the Good-Turing estimate) gives the probability that the next schedule
+lands in a never-seen class — together they say not just how even the
+exploration was, but how much of the space remains.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoverageEstimate:
+    """Richness and coverage statistics of one campaign's rf classes."""
+
+    observed_classes: int
+    executions: int
+    #: Chao1 lower-bound estimate of the total number of rf classes.
+    estimated_classes: float
+    #: Good-Turing probability that the next schedule is a new class.
+    discovery_probability: float
+
+    @property
+    def estimated_remaining(self) -> float:
+        return max(0.0, self.estimated_classes - self.observed_classes)
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of the (estimated) class space already visited."""
+        if self.estimated_classes <= 0:
+            return 1.0
+        return min(1.0, self.observed_classes / self.estimated_classes)
+
+
+def chao1(counts: list[int]) -> float:
+    """The Chao1 species-richness lower bound.
+
+    ``S + f1^2 / (2 f2)`` with singletons f1 and doubletons f2; the
+    bias-corrected ``S + f1(f1-1)/2`` form is used when f2 == 0.
+    """
+    observed = sum(1 for c in counts if c > 0)
+    singletons = sum(1 for c in counts if c == 1)
+    doubletons = sum(1 for c in counts if c == 2)
+    if doubletons > 0:
+        return observed + singletons * singletons / (2.0 * doubletons)
+    return observed + singletons * (singletons - 1) / 2.0
+
+
+def good_turing_discovery(counts: list[int]) -> float:
+    """Good-Turing estimate of unseen-class probability: f1 / n."""
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    singletons = sum(1 for c in counts if c == 1)
+    return singletons / total
+
+
+def estimate_coverage(signature_counts: Counter | dict) -> CoverageEstimate:
+    """Coverage statistics from an rf-signature observation counter."""
+    counts = [c for c in signature_counts.values() if c > 0]
+    return CoverageEstimate(
+        observed_classes=len(counts),
+        executions=sum(counts),
+        estimated_classes=chao1(counts),
+        discovery_probability=good_turing_discovery(counts),
+    )

@@ -1,0 +1,191 @@
+"""JSON persistence for traces, crashes and campaign results.
+
+The paper's artifact ships raw experiment data alongside the tool; this
+module provides the same affordance — everything the harness produces can
+be serialised to JSON, reloaded, and (for crashes) *re-executed*: a crash
+record round-trips into a ReplayPolicy run that reproduces the failure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent, Event
+from repro.core.fuzzer import CrashRecord, FuzzReport
+from repro.core.trace import Trace
+from repro.harness.tools import BugSearchResult
+
+# ----------------------------------------------------------------------
+# Events / traces
+# ----------------------------------------------------------------------
+def event_to_dict(event: Event) -> dict[str, Any]:
+    out = {
+        "eid": event.eid,
+        "tid": event.tid,
+        "kind": event.kind,
+        "location": event.location,
+        "loc": event.loc,
+    }
+    if event.rf is not None:
+        out["rf"] = event.rf
+    if isinstance(event.value, (int, float, str, bool)) or event.value is None:
+        out["value"] = event.value
+    else:
+        out["value"] = repr(event.value)
+    if isinstance(event.aux, (int, str)) or event.aux is None:
+        out["aux"] = event.aux
+    elif isinstance(event.aux, tuple):
+        out["aux"] = list(event.aux)
+    return out
+
+
+def event_from_dict(data: dict[str, Any]) -> Event:
+    aux = data.get("aux")
+    if isinstance(aux, list):
+        aux = tuple(aux)
+    return Event(
+        eid=data["eid"],
+        tid=data["tid"],
+        kind=data["kind"],
+        location=data["location"],
+        loc=data["loc"],
+        rf=data.get("rf"),
+        value=data.get("value"),
+        aux=aux,
+    )
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    return {
+        "events": [event_to_dict(e) for e in trace.events],
+        "outcome": trace.outcome,
+        "failure": trace.failure,
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    return Trace(
+        events=[event_from_dict(e) for e in data["events"]],
+        outcome=data.get("outcome"),
+        failure=data.get("failure"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Abstract schedules
+# ----------------------------------------------------------------------
+def _abstract_event_to_dict(event: AbstractEvent | None) -> dict[str, Any] | None:
+    if event is None:
+        return None
+    return {"kind": event.kind, "location": event.location, "loc": event.loc}
+
+
+def _abstract_event_from_dict(data: dict[str, Any] | None) -> AbstractEvent | None:
+    if data is None:
+        return None
+    return AbstractEvent(kind=data["kind"], location=data["location"], loc=data["loc"])
+
+
+def schedule_to_dict(schedule: AbstractSchedule) -> list[dict[str, Any]]:
+    return [
+        {
+            "read": _abstract_event_to_dict(c.read),
+            "write": _abstract_event_to_dict(c.write),
+            "positive": c.positive,
+        }
+        for c in sorted(schedule.constraints, key=str)
+    ]
+
+
+def schedule_from_dict(data: list[dict[str, Any]]) -> AbstractSchedule:
+    constraints = [
+        Constraint(
+            read=_abstract_event_from_dict(c["read"]),
+            write=_abstract_event_from_dict(c["write"]),
+            positive=c["positive"],
+        )
+        for c in data
+    ]
+    return AbstractSchedule(frozenset(constraints))
+
+
+# ----------------------------------------------------------------------
+# Crash records / fuzz reports
+# ----------------------------------------------------------------------
+def crash_to_dict(crash: CrashRecord) -> dict[str, Any]:
+    return {
+        "execution_index": crash.execution_index,
+        "outcome": crash.outcome,
+        "failure": crash.failure,
+        "abstract_schedule": schedule_to_dict(crash.abstract_schedule),
+        "concrete_schedule": list(crash.concrete_schedule),
+    }
+
+
+def crash_from_dict(data: dict[str, Any]) -> CrashRecord:
+    return CrashRecord(
+        execution_index=data["execution_index"],
+        outcome=data["outcome"],
+        failure=data["failure"],
+        abstract_schedule=schedule_from_dict(data["abstract_schedule"]),
+        concrete_schedule=tuple(data["concrete_schedule"]),
+    )
+
+
+def report_to_dict(report: FuzzReport) -> dict[str, Any]:
+    return {
+        "program": report.program_name,
+        "executions": report.executions,
+        "corpus_size": report.corpus_size,
+        "pair_coverage": report.pair_coverage,
+        "unique_signatures": report.unique_signatures,
+        "truncated_runs": report.truncated_runs,
+        "crashes": [crash_to_dict(c) for c in report.crashes],
+    }
+
+
+def result_to_dict(result: BugSearchResult) -> dict[str, Any]:
+    return {
+        "tool": result.tool,
+        "program": result.program,
+        "trial": result.trial,
+        "found": result.found,
+        "schedules_to_bug": result.schedules_to_bug,
+        "executions": result.executions,
+        "outcome": result.outcome,
+        "error": result.error,
+    }
+
+
+# ----------------------------------------------------------------------
+# File-level helpers
+# ----------------------------------------------------------------------
+def save_json(payload: Any, path: str | Path) -> Path:
+    """Write any of the dict forms above to ``path`` (pretty-printed)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_json(path: str | Path) -> Any:
+    return json.loads(Path(path).read_text())
+
+
+def save_crashes(report: FuzzReport, directory: str | Path) -> list[Path]:
+    """Persist every crash of a fuzz report as ``crash-NNN.json`` files."""
+    base = Path(directory)
+    written = []
+    for index, crash in enumerate(report.crashes):
+        payload = {"program": report.program_name, **crash_to_dict(crash)}
+        written.append(save_json(payload, base / f"crash-{index:03d}.json"))
+    return written
+
+
+def load_crash(path: str | Path) -> tuple[str, CrashRecord]:
+    """Load one persisted crash; returns (program name, crash record)."""
+    data = load_json(path)
+    return data["program"], crash_from_dict(data)

@@ -1,0 +1,185 @@
+"""Renderers for the paper's tables and figures.
+
+Everything renders to plain text (the benches ``tee`` it into
+EXPERIMENTS.md-ready blocks): the Appendix B mean±std table, the Figure 4
+cumulative-bugs-vs-log-schedules curves, and the Figure 5 reads-from
+frequency histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.fuzzer import FuzzReport, RffConfig, RffFuzzer
+from repro.harness.campaign import CampaignResult
+from repro.harness.stats import logrank, logrank_direction
+from repro.runtime.executor import Executor
+from repro.runtime.program import Program
+from repro.schedulers.pos import PosPolicy
+
+#: Appendix B column order (paper's table).
+APPENDIX_B_ORDER = ["PCT3", "PERIOD", "RFF", "POS", "QLearning RF", "GenMC"]
+
+
+def appendix_b_table(campaign: CampaignResult, tools: list[str] | None = None) -> str:
+    """Render the Appendix B table: mean ± std schedules-to-first-bug.
+
+    Cell syntax follows the paper: ``-`` = bug never found, ``*`` = missed
+    in at least one trial, ``Error`` = the tool could not run the program.
+    """
+    tool_names = tools or [t for t in APPENDIX_B_ORDER if t in campaign.tools()]
+    width = max(len(p) for p in campaign.programs()) + 2
+    header = "Benchmark/program".ljust(width) + "".join(t.rjust(18) for t in tool_names)
+    lines = [header, "-" * len(header)]
+    for program in campaign.programs():
+        row = [program.ljust(width)]
+        for tool in tool_names:
+            if campaign.is_error(tool, program):
+                cell = "Error"
+            else:
+                cell = campaign.cell(tool, program).render()
+            row.append(cell.rjust(18))
+        lines.append("".join(row))
+    lines.append("-" * len(header))
+    summary = "mean bugs found".ljust(width) + "".join(
+        f"{campaign.mean_bugs_found(t):.1f}".rjust(18) for t in tool_names
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def figure4_series(campaign: CampaignResult) -> dict[str, list[tuple[int, int]]]:
+    """Figure 4 data: tool -> sorted (schedules, cumulative bugs) points."""
+    return {tool: campaign.cumulative_curve(tool) for tool in campaign.tools()}
+
+
+def figure4_ascii(campaign: CampaignResult, width: int = 64, height: int = 16) -> str:
+    """ASCII rendering of Figure 4 (cumulative bugs vs log10 schedules)."""
+    series = {t: c for t, c in figure4_series(campaign).items() if c}
+    if not series:
+        return "(no bugs found by any tool)"
+    max_bugs = max(curve[-1][1] for curve in series.values())
+    max_log = max(math.log10(curve[-1][0] + 1) for curve in series.values())
+    max_log = max(max_log, 1.0)
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for marker, (tool, curve) in zip("RPOCQG#@%&", sorted(series.items())):
+        markers[tool] = marker
+        for schedules, bugs in curve:
+            x = min(width - 1, int(math.log10(schedules + 1) / max_log * (width - 1)))
+            y = min(height - 1, int(bugs / max_bugs * (height - 1)))
+            grid[height - 1 - y][x] = marker
+    lines = [f"cumulative bugs (max {max_bugs}) vs log10(schedules)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines += [f"  {marker} = {tool}" for tool, marker in sorted(markers.items())]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: reads-from signature frequency on SafeStack
+# ----------------------------------------------------------------------
+@dataclass
+class RfDistribution:
+    """Observation counts per rf signature after N schedules of one tool."""
+
+    tool: str
+    executions: int
+    counts: list[int]  # descending
+
+    @property
+    def unique_signatures(self) -> int:
+        return len(self.counts)
+
+    @property
+    def top_share(self) -> float:
+        """Fraction of all executions consumed by the most common signature
+        (the paper's ">50% under POS" observation)."""
+        return self.counts[0] / self.executions if self.counts else 0.0
+
+    def gini(self) -> float:
+        """Gini coefficient of the distribution: 0 = perfectly even
+        exploration, 1 = maximally skewed.  A scalar summary of Figure 5."""
+        if not self.counts:
+            return 0.0
+        sorted_counts = sorted(self.counts)
+        n = len(sorted_counts)
+        cumulative = sum((i + 1) * c for i, c in enumerate(sorted_counts))
+        total = sum(sorted_counts)
+        if total == 0:
+            return 0.0
+        return (2 * cumulative) / (n * total) - (n + 1) / n
+
+
+def rf_distribution_pos(program: Program, executions: int, seed: int = 0) -> RfDistribution:
+    """Signature counts under plain POS (Figure 5, top)."""
+    import random
+
+    rng = random.Random(seed)
+    counts: Counter = Counter()
+    for _ in range(executions):
+        policy = PosPolicy(seed=rng.randrange(2**63))
+        result = Executor(program, policy, max_steps=program.max_steps or 20000).run()
+        counts[result.trace.rf_signature()] += 1
+    return RfDistribution("POS", executions, sorted(counts.values(), reverse=True))
+
+
+def rf_distribution_rff(
+    program: Program, executions: int, seed: int = 0, config: RffConfig | None = None
+) -> RfDistribution:
+    """Signature counts under RFF with greybox feedback (Figure 5, bottom)."""
+    fuzzer = RffFuzzer(program, seed=seed, config=config or RffConfig())
+    report: FuzzReport = fuzzer.run(executions)
+    return RfDistribution("RFF", report.executions, sorted(report.signature_counts.values(), reverse=True))
+
+
+def figure5_ascii(distribution: RfDistribution, bars: int = 40, height: int = 10) -> str:
+    """Log-scale frequency bars for the most common rf signatures."""
+    counts = distribution.counts[:bars]
+    if not counts:
+        return "(no executions)"
+    top = math.log10(max(counts) + 1)
+    lines = [
+        f"{distribution.tool}: {distribution.unique_signatures} rf signatures over "
+        f"{distribution.executions} schedules; top signature share "
+        f"{distribution.top_share:.1%}, gini {distribution.gini():.2f}"
+    ]
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        lines.append("|" + "".join("#" if math.log10(c + 1) >= threshold else " " for c in counts))
+    lines.append("+" + "-" * len(counts) + "  (signatures, most frequent first; log-scale)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pairwise significance (Sections 5.2/5.3 claims)
+# ----------------------------------------------------------------------
+def significance_summary(
+    campaign: CampaignResult, tool_a: str, tool_b: str, alpha: float = 0.05
+) -> dict[str, int]:
+    """Count programs where each tool is significantly faster (log-rank).
+
+    Returns ``{"a_faster": n, "b_faster": m, "ties": k}`` over all programs,
+    the shape of the paper's "significantly fewer schedules on 30/49" claims.
+    """
+    a_faster = b_faster = ties = 0
+    for program in campaign.programs():
+        times_a = campaign.schedules_to_bug(tool_a, program)
+        times_b = campaign.schedules_to_bug(tool_b, program)
+        if not times_a or not times_b:
+            continue
+        budget = campaign.config.budget_for(program)
+        test = logrank(times_a, times_b, budget_a=budget, budget_b=budget)
+        if test.significant(alpha):
+            direction = logrank_direction(times_a, times_b)
+            if direction < 0:
+                a_faster += 1
+            elif direction > 0:
+                b_faster += 1
+            else:
+                ties += 1
+        else:
+            ties += 1
+    return {"a_faster": a_faster, "b_faster": b_faster, "ties": ties}

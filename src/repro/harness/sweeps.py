@@ -1,0 +1,127 @@
+"""Hyperparameter sweeps for the fuzzer's knobs.
+
+Section 4.2 introduces β (the γ normaliser) and M (the per-stage energy
+cut-off) without a sensitivity study; this helper runs the grid so the
+ablation bench can show how robust the headline results are to those
+choices — a reviewer-grade robustness check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.fuzzer import RffConfig, RffFuzzer
+from repro.runtime.program import Program
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregate outcome for one configuration over several trials."""
+
+    config: RffConfig
+    label: str
+    found: int
+    trials: int
+    mean_schedules: float | None
+    mean_coverage: float
+
+    @property
+    def found_rate(self) -> float:
+        return self.found / self.trials if self.trials else 0.0
+
+
+def sweep_config(
+    program: Program,
+    configs: Iterable[tuple[str, RffConfig]],
+    trials: int = 5,
+    budget: int = 300,
+    base_seed: int = 0,
+) -> list[SweepPoint]:
+    """Run each labelled config ``trials`` times; aggregate bug discovery
+    and rf-pair coverage."""
+    points = []
+    for label, config in configs:
+        hits: list[int] = []
+        coverage = 0
+        for trial in range(trials):
+            fuzzer = RffFuzzer(program, seed=base_seed + 13 * trial, config=config)
+            report = fuzzer.run(budget, stop_on_first_crash=True)
+            if report.first_crash_at is not None:
+                hits.append(report.first_crash_at)
+            coverage += report.pair_coverage
+        points.append(
+            SweepPoint(
+                config=config,
+                label=label,
+                found=len(hits),
+                trials=trials,
+                mean_schedules=(sum(hits) / len(hits)) if hits else None,
+                mean_coverage=coverage / trials,
+            )
+        )
+    return points
+
+
+def beta_sweep(betas: Iterable[float] = (0.5, 1.0, 2.0, 4.0, 8.0)) -> list[tuple[str, RffConfig]]:
+    """Configs varying the power schedule's β."""
+    return [(f"beta={beta}", RffConfig(beta=beta)) for beta in betas]
+
+
+def energy_sweep(caps: Iterable[int] = (4, 16, 64, 256)) -> list[tuple[str, RffConfig]]:
+    """Configs varying the stage cut-off M."""
+    return [(f"M={cap}", RffConfig(max_energy=cap)) for cap in caps]
+
+
+def constraint_cap_sweep(caps: Iterable[int] = (1, 2, 4, 8, 16)) -> list[tuple[str, RffConfig]]:
+    """Configs varying the abstract-schedule size cap."""
+    return [(f"cap={cap}", RffConfig(max_constraints=cap)) for cap in caps]
+
+
+def positive_bias_sweep(biases: Iterable[float] = (0.1, 0.3, 0.5, 0.7, 0.9)) -> list[tuple[str, RffConfig]]:
+    """Configs varying the positive-constraint drawing bias."""
+    return [(f"bias={bias}", RffConfig(positive_bias=bias)) for bias in biases]
+
+
+def render_sweep(points: list[SweepPoint]) -> str:
+    """Plain-text sweep table."""
+    width = max(len(p.label) for p in points) + 2
+    lines = [f"{'config'.ljust(width)}{'found':>8}{'mean-schedules':>16}{'rf-coverage':>13}"]
+    for point in points:
+        mean = f"{point.mean_schedules:.1f}" if point.mean_schedules is not None else "-"
+        lines.append(
+            f"{point.label.ljust(width)}{point.found}/{point.trials:>2}"
+            f"{mean:>16}{point.mean_coverage:>13.1f}"
+        )
+    return "\n".join(lines)
+
+
+def default_grid() -> list[tuple[str, RffConfig]]:
+    """The full default grid used by the robustness bench."""
+    grid: list[tuple[str, RffConfig]] = [("default", RffConfig())]
+    grid += beta_sweep()
+    grid += energy_sweep()
+    grid += constraint_cap_sweep()
+    grid += positive_bias_sweep()
+    # De-duplicate configs equal to the default.
+    seen: set[RffConfig] = set()
+    unique = []
+    for label, config in grid:
+        if config in seen:
+            continue
+        seen.add(config)
+        unique.append((label, config))
+    return unique
+
+
+def ablation_grid() -> list[tuple[str, RffConfig]]:
+    """Component on/off matrix (the RQ2/RQ3 knobs plus combinations)."""
+    base = RffConfig()
+    return [
+        ("full", base),
+        ("no-feedback", replace(base, use_feedback=False)),
+        ("no-power", replace(base, use_power_schedule=False)),
+        ("no-constraints", replace(base, use_constraints=False)),
+        ("mutation-only", replace(base, use_feedback=False, use_power_schedule=False)),
+        ("pure-pos", replace(base, use_feedback=False, use_power_schedule=False, use_constraints=False)),
+    ]

@@ -1,0 +1,185 @@
+"""Uniform adapters around every testing technique the paper evaluates.
+
+A :class:`TestingTool` answers one question — *how many schedules until the
+first bug?* — which is the paper's primary metric (Section 5.1, "Bugs").
+Tool names match the Figure 4 legend: ``RFF``, ``POS``, ``PCT3``,
+``PERIOD``, ``QLearning RF``, ``GenMC`` (plus ``Random`` as an extra naive
+baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.algos.modelcheck import ModelChecker, UnsupportedProgram
+from repro.algos.period import PeriodExplorer
+from repro.algos.qlearning import QLearningRfPolicy
+from repro.core.fuzzer import RffConfig, RffFuzzer
+from repro.runtime.executor import DEFAULT_MAX_STEPS, Executor
+from repro.runtime.program import Program
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.muzz_like import MuzzLikePolicy
+from repro.schedulers.pct import PctPolicy
+from repro.schedulers.pos import PosPolicy
+from repro.schedulers.random_walk import RandomWalkPolicy
+
+
+@dataclass(frozen=True)
+class BugSearchResult:
+    """Outcome of one trial of one tool on one program."""
+
+    tool: str
+    program: str
+    trial: int
+    found: bool
+    #: 1-based schedule index of the first bug (None when not found).
+    schedules_to_bug: int | None
+    #: Total schedules executed by the trial.
+    executions: int
+    outcome: str | None = None
+    #: Non-None when the tool could not run the program at all (the
+    #: Appendix B "Error" cells, e.g. GenMC's unsupported programs).
+    error: str | None = None
+
+
+class TestingTool(ABC):
+    """One bug-finding technique with a schedule budget."""
+
+    name: str = "tool"
+    #: Deterministic tools (model checkers, systematic explorers) need only
+    #: one trial; the harness exploits this.
+    deterministic: bool = False
+
+    @abstractmethod
+    def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
+        """Run until the first bug or until ``budget`` schedules elapse."""
+
+    def _result(
+        self,
+        program: Program,
+        trial_seed: int,
+        schedules_to_bug: int | None,
+        executions: int,
+        outcome: str | None = None,
+        error: str | None = None,
+    ) -> BugSearchResult:
+        return BugSearchResult(
+            tool=self.name,
+            program=program.name,
+            trial=trial_seed,
+            found=schedules_to_bug is not None,
+            schedules_to_bug=schedules_to_bug,
+            executions=executions,
+            outcome=outcome,
+            error=error,
+        )
+
+
+def _program_steps(program: Program) -> int:
+    return program.max_steps if program.max_steps is not None else DEFAULT_MAX_STEPS
+
+
+class RffTool(TestingTool):
+    """The paper's tool: greybox fuzzing over abstract schedules."""
+
+    def __init__(self, config: RffConfig | None = None, name: str = "RFF"):
+        self.config = config or RffConfig()
+        self.name = name
+
+    def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
+        fuzzer = RffFuzzer(program, seed=seed, config=self.config)
+        report = fuzzer.run(budget, stop_on_first_crash=True)
+        outcome = report.crashes[0].outcome if report.crashes else None
+        return self._result(program, seed, report.first_crash_at, report.executions, outcome)
+
+
+class PerExecutionPolicyTool(TestingTool):
+    """Run a fresh (or persistent) scheduler policy once per schedule.
+
+    ``persistent=True`` keeps one policy object across executions — needed by
+    PCT (execution-length estimate) and Q-learning (the Q table)."""
+
+    def __init__(self, name: str, make_policy, persistent: bool = False):
+        self.name = name
+        self._make_policy = make_policy
+        self.persistent = persistent
+
+    def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
+        rng = random.Random(seed)
+        policy: SchedulerPolicy | None = self._make_policy(rng.randrange(2**63)) if self.persistent else None
+        max_steps = _program_steps(program)
+        for index in range(1, budget + 1):
+            current = policy if policy is not None else self._make_policy(rng.randrange(2**63))
+            result = Executor(program, current, max_steps=max_steps).run()
+            if result.crashed:
+                return self._result(program, seed, index, index, result.outcome)
+        return self._result(program, seed, None, budget)
+
+
+def pos_tool() -> PerExecutionPolicyTool:
+    """Partial Order Sampling, one fresh sampler per schedule."""
+    return PerExecutionPolicyTool("POS", lambda s: PosPolicy(seed=s))
+
+
+def random_tool() -> PerExecutionPolicyTool:
+    """Uniform random walk baseline."""
+    return PerExecutionPolicyTool("Random", lambda s: RandomWalkPolicy(seed=s))
+
+
+def muzz_tool() -> PerExecutionPolicyTool:
+    """MUZZ-style static-priority exploration (the Section 5.1 negative
+    result): priorities are randomized once per thread at creation."""
+    return PerExecutionPolicyTool("MUZZ-like", lambda s: MuzzLikePolicy(seed=s))
+
+
+def pct_tool(depth: int = 3) -> PerExecutionPolicyTool:
+    """PCT with the paper's depth 3; the length estimate persists."""
+    return PerExecutionPolicyTool(
+        f"PCT{depth}", lambda s: PctPolicy(depth=depth, seed=s), persistent=True
+    )
+
+
+def qlearning_tool() -> PerExecutionPolicyTool:
+    """Q-Learning RF (Section 5.5); the Q table persists across schedules."""
+    return PerExecutionPolicyTool("QLearning RF", lambda s: QLearningRfPolicy(seed=s), persistent=True)
+
+
+class PeriodTool(TestingTool):
+    """The PERIOD stand-in: iterative preemption-bounded exploration."""
+
+    name = "PERIOD"
+    deterministic = True
+
+    def __init__(self, max_bound: int = 4):
+        self.max_bound = max_bound
+
+    def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
+        explorer = PeriodExplorer(
+            program, max_executions=budget, max_bound=self.max_bound, max_steps=_program_steps(program)
+        )
+        report = explorer.run()
+        return self._result(program, seed, report.first_bug_at, report.executions, report.bug_outcome)
+
+
+class GenMcTool(TestingTool):
+    """The GenMC stand-in: exhaustive rf-class enumeration where supported."""
+
+    name = "GenMC"
+    deterministic = True
+
+    def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
+        checker = ModelChecker(program, max_executions=budget, max_steps=_program_steps(program))
+        try:
+            report = checker.check()
+        except UnsupportedProgram as exc:
+            return self._result(program, seed, None, 0, error=str(exc))
+        return self._result(
+            program, seed, report.first_bug_at_class, report.executions, report.bug_outcome
+        )
+
+
+def paper_tools() -> list[TestingTool]:
+    """The six techniques of Figure 4, in its legend order."""
+    return [pct_tool(), PeriodTool(), RffTool(), pos_tool(), qlearning_tool(), GenMcTool()]

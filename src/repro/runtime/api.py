@@ -1,0 +1,190 @@
+"""The program-facing API: what benchmark threads are written against.
+
+A benchmark program is a generator function ``main(t)`` receiving an
+:class:`Api` instance ``t``.  Shared objects are created through the factory
+methods (``t.var``, ``t.mutex``, ...) and every visible operation is
+*yielded*::
+
+    def main(t):
+        a = t.var("a", 0)
+        b = t.var("b", 0)
+        for _ in range(100):
+            yield t.spawn(setter, a, b)
+        yield t.spawn(checker, a, b)
+
+    def setter(t, a, b):
+        yield t.write(a, 1)
+        yield t.write(b, -1)
+
+    def checker(t, a, b):
+        va = yield t.read(a)
+        vb = yield t.read(b)
+        t.require((va == 0 and vb == 0) or (va == 1 and vb == -1))
+
+The yield is the serialization point: the executor chooses which thread's
+pending operation runs next, giving scheduler policies full per-event control
+of the interleaving — the role played by E9Patch instrumentation plus
+``libsched.so`` in the paper's native implementation (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.runtime import ops
+from repro.runtime.errors import AssertionViolation, ProgramError
+from repro.runtime.objects import Barrier, CondVar, Heap, HeapObject, Mutex, Semaphore, SharedVar
+from repro.runtime.thread import ThreadHandle
+
+
+class Api:
+    """Execution-scoped facade handed to every thread body.
+
+    One instance is shared by all threads of an execution; the executor knows
+    which thread yielded each operation, so the facade itself is stateless
+    apart from the object registries (which enforce unique names to prevent
+    accidental aliasing in benchmark programs).
+    """
+
+    def __init__(self) -> None:
+        self.heap = Heap()
+        self._objects: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Shared-object factories
+    # ------------------------------------------------------------------
+    def _register(self, obj: Any, name: str) -> Any:
+        if name in self._objects:
+            raise ProgramError(f"shared object name {name!r} created twice")
+        self._objects[name] = obj
+        return obj
+
+    def var(self, name: str, init: Any = 0) -> SharedVar:
+        """Create a shared variable initialised to ``init``."""
+        return self._register(SharedVar(name, init), f"var:{name}")
+
+    def mutex(self, name: str, error_checking: bool = True) -> Mutex:
+        """Create a non-reentrant mutex."""
+        return self._register(Mutex(name, error_checking), f"mutex:{name}")
+
+    def cond(self, name: str) -> CondVar:
+        """Create a condition variable with FIFO wakeup."""
+        return self._register(CondVar(name), f"cond:{name}")
+
+    def sem(self, name: str, init: int = 0) -> Semaphore:
+        """Create a counting semaphore."""
+        return self._register(Semaphore(name, init), f"sem:{name}")
+
+    def barrier(self, name: str, parties: int) -> Barrier:
+        """Create a cyclic barrier for ``parties`` threads."""
+        return self._register(Barrier(name, parties), f"barrier:{name}")
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+    def read(self, var: SharedVar, loc: str | None = None) -> ops.ReadOp:
+        """Read ``var``; the yield evaluates to the value read."""
+        return ops.ReadOp(var=var, loc=loc)
+
+    def write(self, var: SharedVar, value: Any, loc: str | None = None) -> ops.WriteOp:
+        """Write ``value`` to ``var``."""
+        return ops.WriteOp(var=var, value=value, loc=loc)
+
+    def rmw(self, var: SharedVar, func: Callable[[Any], Any], loc: str | None = None) -> ops.RmwOp:
+        """Atomically apply ``func`` to ``var``; yields the old value."""
+        return ops.RmwOp(var=var, func=func, loc=loc)
+
+    def add(self, var: SharedVar, delta: Any, loc: str | None = None) -> ops.RmwOp:
+        """Atomic fetch-and-add; yields the old value."""
+        return ops.RmwOp(var=var, func=lambda old: old + delta, loc=loc)
+
+    def cas(self, var: SharedVar, expected: Any, new: Any, loc: str | None = None) -> ops.CasOp:
+        """Atomic compare-and-swap; yields True on success."""
+        return ops.CasOp(var=var, expected=expected, new=new, loc=loc)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def lock(self, mutex: Mutex, loc: str | None = None) -> ops.LockOp:
+        """Acquire ``mutex``; blocks while held by another thread."""
+        return ops.LockOp(mutex=mutex, loc=loc)
+
+    def trylock(self, mutex: Mutex, loc: str | None = None) -> ops.TryLockOp:
+        """Attempt to acquire ``mutex``; yields True on success."""
+        return ops.TryLockOp(mutex=mutex, loc=loc)
+
+    def unlock(self, mutex: Mutex, loc: str | None = None) -> ops.UnlockOp:
+        """Release ``mutex``."""
+        return ops.UnlockOp(mutex=mutex, loc=loc)
+
+    def wait(self, cond: CondVar, mutex: Mutex, loc: str | None = None) -> ops.WaitOp:
+        """pthread-style wait: release ``mutex``, block, re-acquire on wakeup."""
+        return ops.WaitOp(cond=cond, mutex=mutex, loc=loc)
+
+    def signal(self, cond: CondVar, loc: str | None = None) -> ops.SignalOp:
+        """Wake one waiter (FIFO); a no-op if none are waiting (lost wakeup)."""
+        return ops.SignalOp(cond=cond, loc=loc)
+
+    def broadcast(self, cond: CondVar, loc: str | None = None) -> ops.BroadcastOp:
+        """Wake every waiter of ``cond``."""
+        return ops.BroadcastOp(cond=cond, loc=loc)
+
+    def acquire(self, sem: Semaphore, loc: str | None = None) -> ops.SemAcquireOp:
+        """Decrement ``sem``; blocks while the count is zero."""
+        return ops.SemAcquireOp(sem=sem, loc=loc)
+
+    def release(self, sem: Semaphore, loc: str | None = None) -> ops.SemReleaseOp:
+        """Increment ``sem``."""
+        return ops.SemReleaseOp(sem=sem, loc=loc)
+
+    def arrive(self, barrier: Barrier, loc: str | None = None) -> ops.BarrierOp:
+        """Arrive at ``barrier``; blocks until all parties arrive."""
+        return ops.BarrierOp(barrier=barrier, loc=loc)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    def spawn(self, fn: Callable[..., Any], *args: Any, name: str | None = None) -> ops.SpawnOp:
+        """Start a thread running ``fn(t, *args)``; yields its handle."""
+        return ops.SpawnOp(fn=fn, args=args, name=name)
+
+    def join(self, handle: ThreadHandle, loc: str | None = None) -> ops.JoinOp:
+        """Block until ``handle``'s thread finishes."""
+        return ops.JoinOp(handle=handle, loc=loc)
+
+    def pause(self, loc: str | None = None) -> ops.YieldOp:
+        """A pure scheduling point with no memory effect."""
+        return ops.YieldOp(loc=loc)
+
+    # ------------------------------------------------------------------
+    # Heap (memory-safety oracles)
+    # ------------------------------------------------------------------
+    def malloc(self, site: str = "obj", **fields: Any) -> ops.MallocOp:
+        """Allocate a heap object; yields the :class:`HeapObject`."""
+        return ops.MallocOp(site=site, fields=dict(fields))
+
+    def free(self, obj: HeapObject | None, loc: str | None = None) -> ops.FreeOp:
+        """Free a heap object (double frees crash with the DoubleFree oracle)."""
+        return ops.FreeOp(obj=obj, loc=loc)
+
+    def heap_read(self, obj: HeapObject | None, field: str = "val", loc: str | None = None) -> ops.HeapReadOp:
+        """Read ``obj.field``; UAF / null-dereference oracles apply."""
+        return ops.HeapReadOp(obj=obj, field_name=field, loc=loc)
+
+    def heap_write(
+        self, obj: HeapObject | None, field: str, value: Any, loc: str | None = None
+    ) -> ops.HeapWriteOp:
+        """Write ``obj.field``; UAF / null-dereference oracles apply."""
+        return ops.HeapWriteOp(obj=obj, field_name=field, value=value, loc=loc)
+
+    # ------------------------------------------------------------------
+    # Oracles
+    # ------------------------------------------------------------------
+    def require(self, condition: Any, message: str = "assertion failed") -> None:
+        """Program assertion: raising here is the paper's crash oracle."""
+        if not condition:
+            raise AssertionViolation(message)
+
+    def fail(self, message: str = "explicit failure") -> None:
+        """Unconditionally signal an assertion violation."""
+        raise AssertionViolation(message)

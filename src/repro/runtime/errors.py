@@ -1,0 +1,76 @@
+"""Failure oracles raised (or reported) by the deterministic runtime.
+
+The paper (Section 5.1, "Bugs") classifies the 49 benchmark bugs into three
+kinds: assertion violations, deadlocks, and concurrency-related memory-safety
+issues.  The runtime mirrors that taxonomy: each class below corresponds to
+one oracle, and :class:`~repro.runtime.executor.Executor` converts them into
+``ExecutionResult.outcome`` values so scheduler policies and the fuzzer never
+have to catch exceptions themselves.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeViolation(Exception):
+    """Base class for every bug oracle the runtime can report."""
+
+    #: Short machine-readable bug category, overridden by subclasses.
+    kind = "violation"
+
+
+class AssertionViolation(RuntimeViolation):
+    """A program-level assertion failed (``api.require(...)`` was false)."""
+
+    kind = "assertion"
+
+
+class DeadlockDetected(RuntimeViolation):
+    """No thread is enabled but at least one has not finished.
+
+    Detected by the executor rather than raised by program code, matching the
+    paper's built-in deadlock detector (Section 5.1).
+    """
+
+    kind = "deadlock"
+
+    def __init__(self, blocked_threads: tuple[int, ...]):
+        super().__init__(f"deadlock among threads {sorted(blocked_threads)}")
+        self.blocked_threads = tuple(blocked_threads)
+
+
+class MemorySafetyViolation(RuntimeViolation):
+    """Use-after-free, double-free or invalid-pointer access on the model heap."""
+
+    kind = "memory-safety"
+
+
+class UseAfterFree(MemorySafetyViolation):
+    """A heap object was read or written after it had been freed."""
+
+    kind = "use-after-free"
+
+
+class DoubleFree(MemorySafetyViolation):
+    """A heap object was freed twice."""
+
+    kind = "double-free"
+
+
+class NullDereference(MemorySafetyViolation):
+    """A ``None`` reference was dereferenced as a heap object."""
+
+    kind = "null-dereference"
+
+
+class ProgramError(Exception):
+    """A benchmark program is malformed (not a concurrency bug).
+
+    Raised for misuse of the runtime API, e.g. unlocking a mutex the calling
+    thread does not own when the mutex is configured as error-checking, or
+    joining a thread handle twice.  These abort the execution and are reported
+    as harness errors rather than discovered bugs.
+    """
+
+
+class SchedulerError(Exception):
+    """A scheduler policy returned an invalid choice (harness bug, not PUT bug)."""

@@ -1,0 +1,474 @@
+"""The serializing executor: one visible event per step, policy-chosen.
+
+This module is the Python stand-in for the paper's ``libsched.so`` user-mode
+scheduler (Section 4.1).  All threads of the program under test are advanced
+by a single loop that, before every visible event, computes the set of
+*enabled* threads and asks a pluggable :class:`SchedulerPolicy` which one
+runs next.  Execution is fully deterministic given the policy's decisions,
+which is what makes schedules replayable and the reads-from relation a
+stable feedback signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.core.events import AbstractEvent, Event
+from repro.core.trace import Trace
+from repro.runtime import ops
+from repro.runtime.api import Api
+from repro.runtime.errors import (
+    DeadlockDetected,
+    NullDereference,
+    ProgramError,
+    RuntimeViolation,
+    SchedulerError,
+)
+from repro.runtime.objects import Barrier, CondVar, Mutex
+from repro.runtime.thread import ThreadHandle, ThreadState, ThreadStatus
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.program import Program
+    from repro.schedulers.base import SchedulerPolicy
+
+#: Default bound on events per execution, guarding against spin-heavy
+#: schedules (e.g. CAS retry loops the policy keeps re-scheduling).
+DEFAULT_MAX_STEPS = 20_000
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One enabled thread together with the event it would execute next."""
+
+    tid: int
+    kind: str
+    location: str
+    loc: str
+
+    @property
+    def abstract(self) -> AbstractEvent:
+        """The abstract event ``op(x)@l`` this candidate would produce."""
+        return AbstractEvent(self.kind, self.location, self.loc)
+
+    def __str__(self) -> str:
+        return f"T{self.tid}:{self.kind}({self.location})@{self.loc}"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one complete execution under a scheduler policy."""
+
+    trace: Trace
+    #: Thread ids in the order their events executed (the concrete schedule).
+    schedule: list[int]
+    steps: int
+    #: True when the step bound was hit before all threads finished.
+    truncated: bool = False
+
+    @property
+    def crashed(self) -> bool:
+        return self.trace.crashed
+
+    @property
+    def outcome(self) -> str | None:
+        return self.trace.outcome
+
+
+def _innermost_frame(gen: Generator) -> Any:
+    """Follow ``yield from`` delegation to the innermost suspended frame."""
+    inner = gen
+    while getattr(inner, "gi_yieldfrom", None) is not None and hasattr(inner.gi_yieldfrom, "gi_frame"):
+        inner = inner.gi_yieldfrom
+    return getattr(inner, "gi_frame", None), getattr(inner, "gi_code", None)
+
+
+def _derive_loc(gen: Generator) -> str:
+    """A stable ``function:line`` label for the yield that produced an op.
+
+    This plays the role of the source-code location ``l`` in abstract events:
+    identical program points in different threads (or different executions)
+    receive identical labels.
+    """
+    frame, code = _innermost_frame(gen)
+    if frame is not None:
+        return f"{frame.f_code.co_name}:{frame.f_lineno}"
+    if code is not None:  # pragma: no cover - suspended generators have frames
+        return f"{code.co_name}:?"
+    return "?:?"
+
+
+def _op_location(op: ops.Op) -> str:
+    """The memory location ``x`` an operation acts on."""
+    if isinstance(op, (ops.ReadOp, ops.WriteOp, ops.RmwOp, ops.CasOp)):
+        return op.var.location
+    if isinstance(op, (ops.LockOp, ops.TryLockOp, ops.UnlockOp)):
+        return op.mutex.location
+    if isinstance(op, (ops.WaitOp, ops.SignalOp, ops.BroadcastOp)):
+        return op.cond.location
+    if isinstance(op, (ops.SemAcquireOp, ops.SemReleaseOp)):
+        return op.sem.location
+    if isinstance(op, ops.BarrierOp):
+        return op.barrier.location
+    if isinstance(op, ops.SpawnOp):
+        return "thread:spawn"
+    if isinstance(op, ops.JoinOp):
+        return "thread:join"
+    if isinstance(op, ops.YieldOp):
+        return "sched:yield"
+    if isinstance(op, ops.MallocOp):
+        return f"heapsite:{op.site}"
+    if isinstance(op, ops.FreeOp):
+        return f"heap:{op.obj.name}" if op.obj is not None else "heap:<null>"
+    if isinstance(op, (ops.HeapReadOp, ops.HeapWriteOp)):
+        if op.obj is None:
+            return "heap:<null>"
+        return op.obj.location_of(op.field_name)
+    raise ProgramError(f"unknown operation {op!r}")
+
+
+class Executor:
+    """Runs one program to completion under one scheduler policy."""
+
+    def __init__(
+        self,
+        program: "Program",
+        policy: "SchedulerPolicy",
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        self.program = program
+        self.policy = policy
+        self.max_steps = max_steps
+        self.api = Api()
+        self.threads: list[ThreadState] = []
+        self.trace = Trace()
+        self.schedule: list[int] = []
+        self._next_eid = 1
+        #: location -> event id of last write (absent = initial pseudo-write 0).
+        self._last_write: dict[str, int] = {}
+        self._last_write_event: dict[str, Event] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection used by scheduler policies
+    # ------------------------------------------------------------------
+    @property
+    def step_index(self) -> int:
+        return len(self.trace.events)
+
+    def last_write_eid(self, location: str) -> int:
+        """Event id of the last write to ``location`` (0 = initial value)."""
+        return self._last_write.get(location, 0)
+
+    def last_write_event(self, location: str) -> Event | None:
+        """The last write event to ``location``, or None for the initial value."""
+        return self._last_write_event.get(location)
+
+    def thread_count(self) -> int:
+        return len(self.threads)
+
+    def live_thread_count(self) -> int:
+        return sum(1 for t in self.threads if not t.finished)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        """Execute the program to completion, crash, deadlock or step bound."""
+        main_gen = self.program.main(self.api)
+        main_thread = ThreadState(0, "main", main_gen)
+        self.threads.append(main_thread)
+        truncated = False
+        self.policy.begin(self)
+        try:
+            self._advance(main_thread, None)
+            while True:
+                if self._all_done():
+                    break
+                if self.step_index >= self.max_steps:
+                    truncated = True
+                    break
+                candidates = self.enabled_candidates()
+                if not candidates:
+                    blocked = tuple(t.tid for t in self.threads if not t.finished)
+                    raise DeadlockDetected(blocked)
+                choice = self.policy.choose(candidates, self)
+                if choice not in candidates:
+                    raise SchedulerError(f"policy chose {choice}, not an enabled candidate")
+                event = self._execute(choice)
+                self.policy.notify(event, self)
+        except RuntimeViolation as violation:
+            self.trace.outcome = violation.kind
+            self.trace.failure = str(violation)
+        result = ExecutionResult(
+            trace=self.trace, schedule=self.schedule, steps=self.step_index, truncated=truncated
+        )
+        self.policy.end(result, self)
+        return result
+
+    def _all_done(self) -> bool:
+        """Whether the execution has fully completed (hook for subclasses
+        with extra pending work, e.g. unflushed TSO store buffers)."""
+        return all(t.finished for t in self.threads)
+
+    def enabled_candidates(self) -> list[Candidate]:
+        """All runnable threads whose pending operation can execute now."""
+        out = []
+        for thread in self.threads:
+            if thread.status is not ThreadStatus.RUNNABLE or thread.pending is None:
+                continue
+            if self._op_enabled(thread, thread.pending):
+                candidate = thread.cached_candidate
+                if candidate is None:
+                    candidate = Candidate(
+                        tid=thread.tid,
+                        kind=thread.pending.kind,
+                        location=_op_location(thread.pending),
+                        loc=thread.pending_loc,
+                    )
+                    thread.cached_candidate = candidate
+                out.append(candidate)
+        return out
+
+    def _op_enabled(self, thread: ThreadState, op: ops.Op) -> bool:
+        if isinstance(op, ops.LockOp):
+            return not op.mutex.held
+        if isinstance(op, ops.JoinOp):
+            return op.handle.finished
+        if isinstance(op, ops.SemAcquireOp):
+            return op.sem.count > 0
+        return True
+
+    # ------------------------------------------------------------------
+    # Event execution
+    # ------------------------------------------------------------------
+    def _execute(self, choice: Candidate) -> Event:
+        thread = self.threads[choice.tid]
+        op = thread.pending
+        if op is None:  # pragma: no cover - guarded by enabled_candidates
+            raise SchedulerError(f"thread {choice.tid} has no pending op")
+        eid = self._next_eid
+        self._next_eid += 1
+        rf: int | None = None
+        value: Any = None
+        resume: Any = None
+        advance_now = True
+        aux: Any = None
+        crash: RuntimeViolation | None = None
+        location = _op_location(op)
+        try:
+            rf, value, resume, advance_now, aux = self._apply(thread, op, eid, location)
+        except RuntimeViolation as violation:
+            crash = violation
+        event = Event(
+            eid=eid,
+            tid=thread.tid,
+            kind=op.kind,
+            location=location,
+            loc=thread.pending_loc,
+            rf=rf,
+            value=value,
+            aux=aux,
+        )
+        self.trace.events.append(event)
+        self.schedule.append(thread.tid)
+        thread.step_count += 1
+        if self._writes(op, value):
+            self._last_write[location] = eid
+            self._last_write_event[location] = event
+        if crash is not None:
+            raise crash
+        if advance_now:
+            was_reacquire = thread.pending_is_reacquire
+            thread.pending_is_reacquire = False
+            self._advance(thread, None if was_reacquire else resume)
+        return event
+
+    def _writes(self, op: ops.Op, value: Any) -> bool:
+        """Whether the executed op performed a write for reads-from purposes."""
+        if op.category == "write":
+            return True
+        if isinstance(op, ops.CasOp):
+            return bool(value)
+        if isinstance(op, ops.TryLockOp):
+            return bool(value)
+        return op.category == "rmw"
+
+    def _apply(
+        self, thread: ThreadState, op: ops.Op, eid: int, location: str
+    ) -> tuple[int | None, Any, Any, bool, Any]:
+        """Perform the operation's effect.
+
+        Returns ``(rf, recorded value, value to resume the generator with,
+        advance_now, aux)``.  ``advance_now`` is False when the thread
+        blocks as part of executing the op (condvar wait, non-final barrier
+        arrival); ``aux`` is the cross-thread metadata recorded on the event
+        (spawned/joined tid, woken waiters).
+        """
+        rf: int | None = None
+        value: Any = None
+        advance_now = True
+        aux: Any = None
+        if isinstance(op, ops.ReadOp):
+            rf = self.last_write_eid(location)
+            value = op.var.value
+        elif isinstance(op, ops.WriteOp):
+            op.var.value = op.value
+            value = op.value
+        elif isinstance(op, ops.RmwOp):
+            rf = self.last_write_eid(location)
+            value = op.var.value
+            op.var.value = op.func(op.var.value)
+        elif isinstance(op, ops.CasOp):
+            rf = self.last_write_eid(location)
+            value = op.var.value == op.expected
+            if value:
+                op.var.value = op.new
+        elif isinstance(op, ops.LockOp):
+            rf = self.last_write_eid(location)
+            op.mutex.owner = thread.tid
+        elif isinstance(op, ops.TryLockOp):
+            rf = self.last_write_eid(location)
+            value = not op.mutex.held
+            if value:
+                op.mutex.owner = thread.tid
+        elif isinstance(op, ops.UnlockOp):
+            self._unlock(thread, op.mutex)
+        elif isinstance(op, ops.WaitOp):
+            rf = self.last_write_eid(location)
+            aux = op.mutex.location
+            self._wait(thread, op)
+            advance_now = False
+        elif isinstance(op, ops.SignalOp):
+            aux = self._wake(op.cond, count=1)
+        elif isinstance(op, ops.BroadcastOp):
+            aux = self._wake(op.cond, count=len(op.cond.waiters))
+        elif isinstance(op, ops.SemAcquireOp):
+            rf = self.last_write_eid(location)
+            op.sem.count -= 1
+        elif isinstance(op, ops.SemReleaseOp):
+            op.sem.count += 1
+        elif isinstance(op, ops.BarrierOp):
+            rf = self.last_write_eid(location)
+            advance_now = self._arrive(thread, op.barrier)
+        elif isinstance(op, ops.SpawnOp):
+            resume = self._spawn(op)
+            return None, f"spawned T{resume.tid}", resume, True, resume.tid
+        elif isinstance(op, ops.JoinOp):
+            value = f"joined T{op.handle.tid}"
+            aux = op.handle.tid
+        elif isinstance(op, ops.YieldOp):
+            pass
+        elif isinstance(op, ops.MallocOp):
+            obj = self.api.heap.malloc(op.site, op.fields)
+            return None, f"malloc {obj.name}", obj, True, obj.name
+        elif isinstance(op, ops.FreeOp):
+            if op.obj is None:
+                raise NullDereference("free(NULL-model) in program")
+            self.api.heap.free(op.obj)
+        elif isinstance(op, ops.HeapReadOp):
+            if op.obj is None:
+                raise NullDereference(f"read of field {op.field_name!r} through null pointer")
+            rf = op.obj.field_writers.get(op.field_name, 0)
+            value = op.obj.read_field(op.field_name)
+        elif isinstance(op, ops.HeapWriteOp):
+            if op.obj is None:
+                raise NullDereference(f"write of field {op.field_name!r} through null pointer")
+            op.obj.check_alive(f"write of field {op.field_name!r}")
+            op.obj.write_field(op.field_name, op.value)
+            op.obj.field_writers[op.field_name] = eid
+            value = op.value
+        else:  # pragma: no cover - exhaustive over the ops vocabulary
+            raise ProgramError(f"unhandled operation {op!r}")
+        return rf, value, value, advance_now, aux
+
+    # ------------------------------------------------------------------
+    # Synchronization helpers
+    # ------------------------------------------------------------------
+    def _unlock(self, thread: ThreadState, mutex: Mutex) -> None:
+        if mutex.owner != thread.tid and mutex.error_checking:
+            raise ProgramError(f"T{thread.tid} unlocked {mutex.name!r} held by {mutex.owner}")
+        mutex.owner = None
+
+    def _wait(self, thread: ThreadState, op: ops.WaitOp) -> None:
+        if op.mutex.owner != thread.tid:
+            raise ProgramError(f"T{thread.tid} waited on {op.cond.name!r} without holding the mutex")
+        op.mutex.owner = None
+        thread.status = ThreadStatus.WAITING_COND
+        thread.wait_cond = op.cond
+        thread.wait_mutex = op.mutex
+        op.cond.waiters.append(thread.tid)
+
+    def _wake(self, cond: CondVar, count: int) -> tuple[int, ...]:
+        woken = []
+        for _ in range(min(count, len(cond.waiters))):
+            tid = cond.waiters.pop(0)
+            waiter = self.threads[tid]
+            waiter.status = ThreadStatus.RUNNABLE
+            # The wakeup completes only after re-acquiring the mutex, modelled
+            # as a synthetic lock op pending at the original wait location.
+            waiter.pending = ops.LockOp(mutex=waiter.wait_mutex, loc=waiter.pending_loc)
+            waiter.cached_candidate = None
+            waiter.pending_is_reacquire = True
+            waiter.wait_cond = None
+            woken.append(tid)
+        return tuple(woken)
+
+    def _arrive(self, thread: ThreadState, barrier: Barrier) -> bool:
+        if len(barrier.arrived) + 1 < barrier.parties:
+            barrier.arrived.append(thread.tid)
+            thread.status = ThreadStatus.WAITING_BARRIER
+            thread.wait_barrier = barrier
+            return False
+        released = list(barrier.arrived)
+        barrier.arrived.clear()
+        barrier.generation += 1
+        for tid in released:
+            waiter = self.threads[tid]
+            waiter.status = ThreadStatus.RUNNABLE
+            waiter.wait_barrier = None
+            self._advance(waiter, None)
+        return True
+
+    def _spawn(self, op: ops.SpawnOp) -> ThreadHandle:
+        tid = len(self.threads)
+        name = op.name or getattr(op.fn, "__name__", f"thread{tid}")
+        gen = op.fn(self.api, *op.args)
+        if not hasattr(gen, "send"):
+            raise ProgramError(f"spawned function {name!r} is not a generator")
+        thread = ThreadState(tid, name, gen)
+        self.threads.append(thread)
+        self._advance(thread, None)
+        return ThreadHandle(thread)
+
+    # ------------------------------------------------------------------
+    # Generator advancement
+    # ------------------------------------------------------------------
+    def _advance(self, thread: ThreadState, value: Any) -> None:
+        """Resume ``thread`` until its next yield (or completion).
+
+        Runs thread-local code atomically; any :class:`RuntimeViolation`
+        raised by program code (assertions, heap oracles triggered inside
+        helpers) propagates to the main loop, which records the crash.
+        """
+        try:
+            op = thread.gen.send(value)
+        except StopIteration:
+            thread.status = ThreadStatus.FINISHED
+            thread.pending = None
+            thread.cached_candidate = None
+            return
+        if not isinstance(op, ops.Op):
+            raise ProgramError(f"thread {thread.name!r} yielded non-operation {op!r}")
+        thread.pending = op
+        thread.pending_loc = op.loc if op.loc is not None else _derive_loc(thread.gen)
+        thread.cached_candidate = None
+
+
+def run_program(program: "Program", policy: "SchedulerPolicy", max_steps: int = DEFAULT_MAX_STEPS) -> ExecutionResult:
+    """Convenience wrapper: one execution of ``program`` under ``policy``."""
+    return Executor(program, policy, max_steps=max_steps).run()
+
+
+#: Public alias: scheduler policies use this to inspect blocked threads'
+#: pending operations (e.g. POS resets scores of racing pending events).
+op_location = _op_location

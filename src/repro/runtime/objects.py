@@ -1,0 +1,206 @@
+"""Shared-state objects visible to the deterministic runtime.
+
+Every object a benchmark program can share between threads is defined here:
+plain shared memory locations (:class:`SharedVar`), the pthread-style
+synchronization primitives (:class:`Mutex`, :class:`CondVar`,
+:class:`Semaphore`, :class:`Barrier`) and a model heap (:class:`Heap`,
+:class:`HeapObject`) used by the ConVul-style memory-safety benchmarks.
+
+All objects are *fresh per execution*: a program factory constructs them in
+its ``main`` body, so no cross-execution reset is needed.  Each object owns a
+stable string ``location`` used to name the memory location ``x`` in events
+``op(x)@l`` (paper Section 3); stability across executions is what makes
+abstract events comparable between schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.errors import DoubleFree, ProgramError, UseAfterFree
+
+
+class SharedVar:
+    """A single shared memory location with sequentially-consistent accesses.
+
+    The runtime assumes sequential consistency, as the paper does
+    (Section 4.1, "Memory Model"), so a variable is just a current value plus
+    the event id of its last writer (used to compute the reads-from relation).
+    """
+
+    __slots__ = ("name", "value", "last_writer")
+
+    def __init__(self, name: str, init: Any = 0):
+        self.name = name
+        self.value = init
+        #: Event id of the last write; 0 denotes the initial pseudo-write.
+        self.last_writer = 0
+
+    @property
+    def location(self) -> str:
+        return f"var:{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedVar({self.name!r}, value={self.value!r})"
+
+
+class Mutex:
+    """A non-reentrant lock; acquiring while held by another thread blocks.
+
+    Lock and unlock operations are modelled as read-modify-write and write
+    events on the mutex's location so the reads-from relation also captures
+    synchronization order, mirroring RFF's instrumentation of "individual
+    memory and thread primitives" (paper Section 4).
+    """
+
+    __slots__ = ("name", "owner", "last_writer", "error_checking")
+
+    def __init__(self, name: str, error_checking: bool = True):
+        self.name = name
+        #: Thread id currently holding the mutex, or None.
+        self.owner: int | None = None
+        self.last_writer = 0
+        #: If True, unlocking a mutex not held by the caller raises
+        #: ProgramError; if False it is silently tolerated (some real
+        #: benchmarks rely on sloppy unlock behaviour).
+        self.error_checking = error_checking
+
+    @property
+    def location(self) -> str:
+        return f"mutex:{self.name}"
+
+    @property
+    def held(self) -> bool:
+        return self.owner is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mutex({self.name!r}, owner={self.owner})"
+
+
+class CondVar:
+    """A condition variable with FIFO wakeup order.
+
+    ``waiters`` holds thread ids currently blocked in ``wait``; the executor
+    moves signalled threads into a re-acquire state for the associated mutex.
+    FIFO order keeps the runtime deterministic for a fixed schedule.
+    """
+
+    __slots__ = ("name", "waiters", "last_writer")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.waiters: list[int] = []
+        self.last_writer = 0
+
+    @property
+    def location(self) -> str:
+        return f"cond:{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CondVar({self.name!r}, waiters={self.waiters})"
+
+
+class Semaphore:
+    """A counting semaphore; ``acquire`` blocks while the count is zero."""
+
+    __slots__ = ("name", "count", "last_writer")
+
+    def __init__(self, name: str, init: int = 0):
+        if init < 0:
+            raise ProgramError(f"semaphore {name!r} initialised below zero")
+        self.name = name
+        self.count = init
+        self.last_writer = 0
+
+    @property
+    def location(self) -> str:
+        return f"sem:{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Semaphore({self.name!r}, count={self.count})"
+
+
+class Barrier:
+    """A cyclic barrier for ``parties`` threads.
+
+    Threads arriving at the barrier block until the last party arrives, at
+    which point every waiter is released and the barrier resets.
+    """
+
+    __slots__ = ("name", "parties", "arrived", "last_writer", "generation")
+
+    def __init__(self, name: str, parties: int):
+        if parties < 1:
+            raise ProgramError(f"barrier {name!r} needs at least one party")
+        self.name = name
+        self.parties = parties
+        self.arrived: list[int] = []
+        self.generation = 0
+        self.last_writer = 0
+
+    @property
+    def location(self) -> str:
+        return f"barrier:{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Barrier({self.name!r}, {len(self.arrived)}/{self.parties})"
+
+
+class HeapObject:
+    """A heap allocation with named fields and a liveness bit.
+
+    Field accesses after :meth:`Heap.free` raise :class:`UseAfterFree`; this
+    is the oracle behind the ConVul CVE models (use-after-free, double-free
+    and null-dereference vulnerabilities; paper Section 5.1).
+    """
+
+    __slots__ = ("name", "fields", "freed", "field_writers")
+
+    def __init__(self, name: str, fields: dict[str, Any] | None = None):
+        self.name = name
+        self.fields: dict[str, Any] = dict(fields or {})
+        self.freed = False
+        #: Last-writer event id per field (0 = initial value at malloc).
+        self.field_writers: dict[str, int] = {}
+
+    def location_of(self, field: str) -> str:
+        return f"heap:{self.name}.{field}"
+
+    def check_alive(self, access: str) -> None:
+        if self.freed:
+            raise UseAfterFree(f"{access} on freed object {self.name!r}")
+
+    def read_field(self, field: str) -> Any:
+        self.check_alive(f"read of field {field!r}")
+        return self.fields.get(field)
+
+    def write_field(self, field: str, value: Any) -> None:
+        self.check_alive(f"write of field {field!r}")
+        self.fields[field] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self.freed else "live"
+        return f"HeapObject({self.name!r}, {state})"
+
+
+class Heap:
+    """Per-execution allocator; names objects by allocation site and order.
+
+    Naming by ``(site, per-site counter)`` keeps heap locations stable across
+    executions of the same program, which abstract events require.
+    """
+
+    __slots__ = ("_site_counts",)
+
+    def __init__(self) -> None:
+        self._site_counts: dict[str, int] = {}
+
+    def malloc(self, site: str, fields: dict[str, Any] | None = None) -> HeapObject:
+        index = self._site_counts.get(site, 0)
+        self._site_counts[site] = index + 1
+        return HeapObject(f"{site}#{index}", fields)
+
+    def free(self, obj: HeapObject) -> None:
+        if obj.freed:
+            raise DoubleFree(f"double free of {obj.name!r}")
+        obj.freed = True

@@ -1,0 +1,266 @@
+"""Operation vocabulary yielded by program threads.
+
+A program thread is a generator that ``yield``\\ s exactly one :class:`Op`
+per visible event; the executor performs the operation, records an event and
+resumes the generator with the operation's result (for reads, the value
+read).  This is the cooperative-yield equivalent of the paper's per-event
+``on_event()`` instrumentation hook (Section 4.1): every yield is a
+serialization point at which the scheduler policy chooses the next thread.
+
+Each operation carries:
+
+* ``category`` — how the event participates in the reads-from relation:
+  ``"read"`` events consume a value, ``"write"`` events produce one, and
+  ``"rmw"`` events (lock acquire, atomic fetch-and-op, semaphore ops) do
+  both.  ``"other"`` events (spawn, join, yield) are ordered but carry no
+  reads-from edge.
+* ``loc`` — an optional explicit code-location label; when omitted the
+  executor derives a stable ``function:line`` label from the generator frame,
+  playing the role of the source location ``l`` in abstract events
+  ``op(x)@l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime.objects import Barrier, CondVar, HeapObject, Mutex, Semaphore, SharedVar
+    from repro.runtime.thread import ThreadHandle
+
+
+@dataclass
+class Op:
+    """Base class for all operations; never yielded directly."""
+
+    loc: str | None = field(default=None, kw_only=True)
+
+    #: Operation kind name used in events and abstract events.
+    kind = "op"
+    #: Reads-from participation: "read", "write", "rmw" or "other".
+    category = "other"
+    #: True when executing this operation may block the thread.
+    may_block = False
+
+
+@dataclass
+class ReadOp(Op):
+    """Read a shared variable; the yield expression evaluates to the value."""
+
+    var: "SharedVar" = None  # type: ignore[assignment]
+
+    kind = "r"
+    category = "read"
+
+
+@dataclass
+class WriteOp(Op):
+    """Write ``value`` to a shared variable."""
+
+    var: "SharedVar" = None  # type: ignore[assignment]
+    value: Any = None
+
+    kind = "w"
+    category = "write"
+
+
+@dataclass
+class RmwOp(Op):
+    """Atomic read-modify-write: ``var.value = func(old)``; yields ``old``.
+
+    Models atomic increments, compare-and-swap and similar primitives used
+    heavily by the SafeStack and work-stealing-queue benchmarks.
+    """
+
+    var: "SharedVar" = None  # type: ignore[assignment]
+    func: Callable[[Any], Any] = None  # type: ignore[assignment]
+
+    kind = "rmw"
+    category = "rmw"
+
+
+@dataclass
+class CasOp(Op):
+    """Compare-and-swap: if ``var == expected`` set ``new``; yields success bool."""
+
+    var: "SharedVar" = None  # type: ignore[assignment]
+    expected: Any = None
+    new: Any = None
+
+    kind = "cas"
+    category = "rmw"
+
+
+@dataclass
+class LockOp(Op):
+    """Acquire a mutex; blocks while another thread holds it."""
+
+    mutex: "Mutex" = None  # type: ignore[assignment]
+
+    kind = "lock"
+    category = "rmw"
+    may_block = True
+
+
+@dataclass
+class TryLockOp(Op):
+    """Attempt to acquire a mutex without blocking; yields success bool."""
+
+    mutex: "Mutex" = None  # type: ignore[assignment]
+
+    kind = "trylock"
+    category = "rmw"
+
+
+@dataclass
+class UnlockOp(Op):
+    """Release a mutex held by the calling thread."""
+
+    mutex: "Mutex" = None  # type: ignore[assignment]
+
+    kind = "unlock"
+    category = "write"
+
+
+@dataclass
+class WaitOp(Op):
+    """Condition-variable wait: atomically release ``mutex`` and block.
+
+    On wakeup (via signal/broadcast) the thread re-acquires ``mutex`` before
+    the yield returns, exactly like ``pthread_cond_wait``.
+    """
+
+    cond: "CondVar" = None  # type: ignore[assignment]
+    mutex: "Mutex" = None  # type: ignore[assignment]
+
+    kind = "wait"
+    category = "rmw"
+    may_block = True
+
+
+@dataclass
+class SignalOp(Op):
+    """Wake one waiter (FIFO) of a condition variable, if any."""
+
+    cond: "CondVar" = None  # type: ignore[assignment]
+
+    kind = "signal"
+    category = "write"
+
+
+@dataclass
+class BroadcastOp(Op):
+    """Wake every waiter of a condition variable."""
+
+    cond: "CondVar" = None  # type: ignore[assignment]
+
+    kind = "broadcast"
+    category = "write"
+
+
+@dataclass
+class SemAcquireOp(Op):
+    """Decrement a semaphore; blocks while the count is zero."""
+
+    sem: "Semaphore" = None  # type: ignore[assignment]
+
+    kind = "sem_acquire"
+    category = "rmw"
+    may_block = True
+
+
+@dataclass
+class SemReleaseOp(Op):
+    """Increment a semaphore, enabling one blocked acquirer."""
+
+    sem: "Semaphore" = None  # type: ignore[assignment]
+
+    kind = "sem_release"
+    category = "write"
+
+
+@dataclass
+class BarrierOp(Op):
+    """Arrive at a barrier; blocks until all parties arrive."""
+
+    barrier: "Barrier" = None  # type: ignore[assignment]
+
+    kind = "barrier"
+    category = "rmw"
+    may_block = True
+
+
+@dataclass
+class SpawnOp(Op):
+    """Create a new thread running ``fn(api, *args)``; yields a ThreadHandle."""
+
+    fn: Callable[..., Any] = None  # type: ignore[assignment]
+    args: tuple = ()
+    name: str | None = None
+
+    kind = "spawn"
+    category = "other"
+
+
+@dataclass
+class JoinOp(Op):
+    """Block until the target thread finishes."""
+
+    handle: "ThreadHandle" = None  # type: ignore[assignment]
+
+    kind = "join"
+    category = "other"
+    may_block = True
+
+
+@dataclass
+class YieldOp(Op):
+    """A pure scheduling point with no memory effect."""
+
+    kind = "yield"
+    category = "other"
+
+
+@dataclass
+class MallocOp(Op):
+    """Allocate a heap object at allocation site ``site``; yields the object."""
+
+    site: str = "obj"
+    fields: dict[str, Any] | None = None
+
+    kind = "malloc"
+    category = "other"
+
+
+@dataclass
+class FreeOp(Op):
+    """Free a heap object; double frees raise :class:`DoubleFree`."""
+
+    obj: "HeapObject | None" = None
+
+    kind = "free"
+    category = "write"
+
+
+@dataclass
+class HeapReadOp(Op):
+    """Read a field of a heap object; UAF / null-deref oracles apply."""
+
+    obj: "HeapObject | None" = None
+    field_name: str = "val"
+
+    kind = "hr"
+    category = "read"
+
+
+@dataclass
+class HeapWriteOp(Op):
+    """Write a field of a heap object; UAF / null-deref oracles apply."""
+
+    obj: "HeapObject | None" = None
+    field_name: str = "val"
+    value: Any = None
+
+    kind = "hw"
+    category = "write"

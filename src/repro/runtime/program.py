@@ -1,0 +1,80 @@
+"""Program descriptors: the unit the harness tests.
+
+A :class:`Program` bundles a ``main`` generator function with the metadata
+the harness needs: which bug kinds the program is known to contain (the
+paper's Section 5.1 taxonomy), how many schedules a systematic tool may
+spend, and whether the GenMC-style model-checker stand-in supports it
+(mirroring the paper's ``Error`` rows in Appendix B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.runtime.api import Api
+
+#: Signature of a program entry point: ``main(t)`` yielding operations.
+MainFn = Callable[[Api], Generator[Any, Any, Any]]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A concurrent program under test.
+
+    ``main`` runs as thread 0 and typically spawns worker threads.  Programs
+    are pure factories: every execution calls ``main`` with a fresh
+    :class:`Api`, so there is no shared state between schedules.
+    """
+
+    name: str
+    main: MainFn
+    #: Bug kinds this program can expose ("assertion", "deadlock",
+    #: "use-after-free", ...). Empty for bug-free programs.
+    bug_kinds: frozenset[str] = frozenset()
+    #: Benchmark suite the program models (e.g. "CS", "ConVul").
+    suite: str = ""
+    #: Whether the model-checker stand-in accepts the program (False mirrors
+    #: GenMC's "Error" rows: unsupported constructs / too-dynamic programs).
+    mc_supported: bool = False
+    #: Free-form notes on what the model abstracts from the original subject.
+    description: str = ""
+    #: Per-execution step bound override (None = executor default).
+    max_steps: int | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("program needs a non-empty name")
+
+    @property
+    def has_bug(self) -> bool:
+        return bool(self.bug_kinds)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def program(
+    name: str,
+    *,
+    bug_kinds: tuple[str, ...] = (),
+    suite: str = "",
+    mc_supported: bool = False,
+    description: str = "",
+    max_steps: int | None = None,
+) -> Callable[[MainFn], Program]:
+    """Decorator sugar: ``@program("CS/account", bug_kinds=("assertion",))``."""
+
+    def wrap(main: MainFn) -> Program:
+        return Program(
+            name=name,
+            main=main,
+            bug_kinds=frozenset(bug_kinds),
+            suite=suite or name.split("/")[0],
+            mc_supported=mc_supported,
+            description=description or (main.__doc__ or "").strip(),
+            max_steps=max_steps,
+        )
+
+    return wrap

@@ -1,0 +1,93 @@
+"""Thread bookkeeping for the deterministic runtime.
+
+A thread is a Python generator advanced one visible event at a time by the
+executor.  Between two yields a thread runs thread-local code atomically,
+which is sound because only yielded operations touch shared state — the same
+discipline the paper's binary instrumentation enforces by hooking every
+shared-memory access (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.runtime.objects import Barrier, CondVar, Mutex
+    from repro.runtime.ops import Op
+
+
+class ThreadStatus(enum.Enum):
+    """Lifecycle of a runtime thread."""
+
+    RUNNABLE = "runnable"
+    WAITING_COND = "waiting-cond"
+    WAITING_BARRIER = "waiting-barrier"
+    FINISHED = "finished"
+
+
+class ThreadState:
+    """One runtime thread: its generator, status and pending operation."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "gen",
+        "status",
+        "pending",
+        "pending_loc",
+        "pending_is_reacquire",
+        "wait_cond",
+        "wait_mutex",
+        "wait_barrier",
+        "step_count",
+        "cached_candidate",
+    )
+
+    def __init__(self, tid: int, name: str, gen: Generator["Op", Any, Any]):
+        self.tid = tid
+        self.name = name
+        self.gen = gen
+        self.status = ThreadStatus.RUNNABLE
+        #: The operation yielded but not yet executed, or None once finished.
+        self.pending: "Op | None" = None
+        #: Code-location label captured when ``pending`` was yielded.
+        self.pending_loc: str = ""
+        #: True when ``pending`` is the synthetic mutex re-acquire that
+        #: completes a condition-variable wait.
+        self.pending_is_reacquire = False
+        self.wait_cond: "CondVar | None" = None
+        self.wait_mutex: "Mutex | None" = None
+        self.wait_barrier: "Barrier | None" = None
+        #: Number of events this thread has executed (its per-thread clock).
+        self.step_count = 0
+        #: Executor-managed memo of the Candidate for the current pending
+        #: op; invalidated whenever ``pending`` changes.
+        self.cached_candidate = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status == ThreadStatus.FINISHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadState(tid={self.tid}, name={self.name!r}, status={self.status.value})"
+
+
+class ThreadHandle:
+    """The value returned by spawn, used as the target of join."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread: ThreadState):
+        self.thread = thread
+
+    @property
+    def tid(self) -> int:
+        return self.thread.tid
+
+    @property
+    def finished(self) -> bool:
+        return self.thread.finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadHandle(tid={self.tid})"

@@ -1,0 +1,18 @@
+"""Scheduler policies: the pluggable `schedule()` routines of Section 4.1."""
+
+from repro.schedulers.base import SchedulerPolicy, SeededPolicy
+from repro.schedulers.muzz_like import MuzzLikePolicy
+from repro.schedulers.pct import PctPolicy
+from repro.schedulers.pos import PosPolicy
+from repro.schedulers.random_walk import RandomWalkPolicy
+from repro.schedulers.replay import ReplayPolicy
+
+__all__ = [
+    "MuzzLikePolicy",
+    "PctPolicy",
+    "PosPolicy",
+    "RandomWalkPolicy",
+    "ReplayPolicy",
+    "SchedulerPolicy",
+    "SeededPolicy",
+]

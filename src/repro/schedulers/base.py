@@ -1,0 +1,53 @@
+"""Scheduler policy interface.
+
+A policy is consulted by the executor before every visible event: it sees the
+set of enabled candidates (thread + the abstract event it would execute) and
+full read access to the execution state, and returns one candidate.  Policies
+also receive lifecycle callbacks so stateful algorithms (POS score tables,
+PCT change points, RFF constraint machines, Q-learning) can maintain
+per-execution and cross-execution state.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.events import Event
+    from repro.runtime.executor import Candidate, ExecutionResult, Executor
+
+
+class SchedulerPolicy(ABC):
+    """Chooses which enabled thread executes its next event."""
+
+    def begin(self, execution: "Executor") -> None:
+        """Called once before the first event of an execution."""
+
+    @abstractmethod
+    def choose(self, candidates: "list[Candidate]", execution: "Executor") -> "Candidate":
+        """Pick one of ``candidates`` (guaranteed non-empty) to run next."""
+
+    def notify(self, event: "Event", execution: "Executor") -> None:
+        """Called after every executed event."""
+
+    def end(self, result: "ExecutionResult", execution: "Executor") -> None:
+        """Called once when the execution completes (normally or not)."""
+
+
+class SeededPolicy(SchedulerPolicy, ABC):
+    """A policy with its own deterministic random stream.
+
+    Every randomized algorithm in this repository draws from a private
+    ``random.Random`` so campaigns are reproducible from a single seed
+    (mirroring the paper's "pre-determined random seed" for POS,
+    Section 4.1).
+    """
+
+    def __init__(self, seed: int | None = None):
+        self.rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the private stream; used by the harness between executions."""
+        self.rng.seed(seed)

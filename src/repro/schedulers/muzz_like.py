@@ -1,0 +1,40 @@
+"""A MUZZ-style scheduler: static random thread priorities, no mid-run control.
+
+Paper Section 5.1: the authors attempted to reproduce MUZZ's interleaving
+exploration — "(1) changing OS thread priorities on creation and (2) [...]
+per-thread edge coverage" — and found that "even on simple benchmark
+programs, this implementation was not able to trigger bugs in practice": on
+the three-thread reorder example it failed after *millions* of executions.
+
+This policy reproduces that negative result faithfully: every thread gets
+one random priority at spawn time (the moment MUZZ calls
+``sched_setscheduler``) and the highest-priority enabled thread always runs.
+Without mid-execution priority changes, the schedule is essentially one
+random thread *order*, which can never interleave a thread's steps between
+another thread's steps — exactly why reorder-style bugs stay unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schedulers.base import SeededPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.runtime.executor import Candidate, Executor
+
+
+class MuzzLikePolicy(SeededPolicy):
+    """Static per-thread random priorities assigned once at creation."""
+
+    def begin(self, execution: "Executor") -> None:
+        self._priorities: dict[int, float] = {}
+
+    def _priority(self, tid: int) -> float:
+        if tid not in self._priorities:
+            # The one-and-only scheduling decision for this thread's life.
+            self._priorities[tid] = self.rng.random()
+        return self._priorities[tid]
+
+    def choose(self, candidates: "list[Candidate]", execution: "Executor") -> "Candidate":
+        return max(candidates, key=lambda c: self._priority(c.tid))

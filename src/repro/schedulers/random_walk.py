@@ -1,0 +1,23 @@
+"""Uniform random walk over enabled threads.
+
+The naive "optimistic" baseline of the paper's introduction: at every step,
+pick an enabled thread uniformly at random.  It is hopeless on deep bugs but
+valuable as a sanity baseline and as the default policy for quickly smoking
+out shallow races.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schedulers.base import SeededPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.runtime.executor import Candidate, Executor
+
+
+class RandomWalkPolicy(SeededPolicy):
+    """Pick an enabled candidate uniformly at random each step."""
+
+    def choose(self, candidates: "list[Candidate]", execution: "Executor") -> "Candidate":
+        return candidates[self.rng.randrange(len(candidates))]

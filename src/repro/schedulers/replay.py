@@ -1,0 +1,44 @@
+"""Replay a recorded concrete schedule.
+
+Replaying the thread-id sequence of a previous execution reproduces it
+exactly when the program is deterministic modulo scheduling — which the
+runtime guarantees.  Used by determinism tests and by the harness to
+re-trigger a crashing schedule for triage (the paper's reproducibility
+argument for deterministic multithreading, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schedulers.base import SchedulerPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.runtime.executor import Candidate, Executor
+
+
+class ReplayPolicy(SchedulerPolicy):
+    """Follow a recorded thread-id sequence; falls back on divergence.
+
+    ``diverged`` records the first step at which the recorded thread was not
+    enabled (None when replay was exact); after divergence the policy keeps
+    executing the lowest-tid candidate so the run still terminates.
+    """
+
+    def __init__(self, schedule: list[int]):
+        self.schedule = list(schedule)
+        self.diverged: int | None = None
+
+    def begin(self, execution: "Executor") -> None:
+        self._cursor = 0
+
+    def choose(self, candidates: "list[Candidate]", execution: "Executor") -> "Candidate":
+        wanted = self.schedule[self._cursor] if self._cursor < len(self.schedule) else None
+        self._cursor += 1
+        if wanted is not None:
+            for candidate in candidates:
+                if candidate.tid == wanted:
+                    return candidate
+        if self.diverged is None:
+            self.diverged = self._cursor - 1
+        return min(candidates, key=lambda c: c.tid)

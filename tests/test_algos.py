@@ -1,0 +1,170 @@
+"""Systematic exploration, the PERIOD / GenMC stand-ins and Q-Learning RF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algos.exploration import ScriptPolicy, StatelessExplorer, count_preemptions
+from repro.algos.modelcheck import ModelChecker, UnsupportedProgram
+from repro.algos.period import PeriodExplorer
+from repro.algos.qlearning import QLearningRfPolicy, commutative_rf_hash
+from repro.runtime import program, run_program
+
+from tests.conftest import make_reorder
+
+
+class TestScriptPolicy:
+    def test_default_is_nonpreemptive(self, reorder3):
+        policy = ScriptPolicy(())
+        run_program(reorder3, policy)
+        assert count_preemptions(policy.log) == 0
+
+    def test_script_followed_when_enabled(self, reorder3):
+        base = ScriptPolicy(())
+        run_program(reorder3, base)
+        # Flip one decision to a different enabled thread and verify it took.
+        for position, step in enumerate(base.log):
+            alternatives = [tid for tid in step.enabled if tid != step.chosen]
+            if alternatives:
+                script = tuple(s.chosen for s in base.log[:position]) + (alternatives[0],)
+                replay = ScriptPolicy(script)
+                run_program(reorder3, replay)
+                assert replay.log[position].chosen == alternatives[0]
+                return
+        raise AssertionError("no branch point found")
+
+    def test_log_records_pending_abstracts(self, reorder3):
+        policy = ScriptPolicy(())
+        run_program(reorder3, policy)
+        for step in policy.log:
+            assert set(step.pending) >= set(step.enabled) or set(step.pending) == set(step.enabled)
+
+
+class TestStatelessExplorer:
+    def test_exhausts_tiny_program(self, racy_counter):
+        report = StatelessExplorer(
+            racy_counter, max_executions=10_000, stop_on_first_bug=False
+        ).run()
+        assert report.exhausted
+        assert report.found_bug  # the lost update is in the space
+
+    def test_budget_respected(self):
+        report = StatelessExplorer(make_reorder(6), max_executions=30).run()
+        assert report.executions <= 30
+
+    def test_preemption_bound_zero_misses_preemption_bugs(self, racy_counter):
+        # The lost update needs a preemption between read and write.
+        report = StatelessExplorer(
+            racy_counter, max_executions=10_000, preemption_bound=0
+        ).run()
+        assert report.exhausted
+        assert not report.found_bug
+
+    def test_preemption_bound_one_finds_it(self, racy_counter):
+        report = StatelessExplorer(
+            racy_counter, max_executions=10_000, preemption_bound=1
+        ).run()
+        assert report.found_bug
+
+    def test_deterministic(self, reorder3):
+        a = StatelessExplorer(reorder3, max_executions=50).run()
+        b = StatelessExplorer(reorder3, max_executions=50).run()
+        assert a.executions == b.executions
+        assert a.first_bug_at == b.first_bug_at
+
+    def test_rf_subsumption_reduces_executions(self):
+        prog = make_reorder(4)
+        plain = StatelessExplorer(prog, max_executions=400, preemption_bound=1).run()
+        pruned = StatelessExplorer(
+            prog, max_executions=400, preemption_bound=1, rf_subsume=True, symmetry_reduction=True
+        ).run()
+        found_plain = plain.first_bug_at or plain.executions + 1
+        found_pruned = pruned.first_bug_at or pruned.executions + 1
+        assert found_pruned <= found_plain
+
+    def test_distinct_rf_classes_counted(self, reorder3):
+        report = StatelessExplorer(reorder3, max_executions=100).run()
+        assert 1 <= report.distinct_rf_classes <= report.executions
+
+
+class TestPeriodExplorer:
+    def test_finds_reorder_family_deterministically(self):
+        first = PeriodExplorer(make_reorder(5), max_executions=2000).run()
+        second = PeriodExplorer(make_reorder(5), max_executions=2000).run()
+        assert first.found_bug
+        assert first.first_bug_at == second.first_bug_at  # the ± 0 rows
+
+    def test_schedule_counts_grow_linearly_in_threads(self):
+        small = PeriodExplorer(make_reorder(3), max_executions=3000).run()
+        large = PeriodExplorer(make_reorder(10), max_executions=3000).run()
+        assert small.found_bug and large.found_bug
+        assert small.first_bug_at < large.first_bug_at
+
+    def test_finds_deadlock(self, abba_deadlock):
+        report = PeriodExplorer(abba_deadlock, max_executions=2000).run()
+        assert report.found_bug
+        assert report.bug_outcome == "deadlock"
+
+    def test_budget_respected(self):
+        report = PeriodExplorer(make_reorder(8), max_executions=15).run()
+        assert report.executions <= 15
+
+
+class TestModelChecker:
+    def test_unsupported_program_raises(self):
+        unsupported = make_reorder(3, mc=False)
+        with pytest.raises(UnsupportedProgram):
+            ModelChecker(unsupported).check()
+
+    def test_small_program_checked(self, reorder2):
+        report = ModelChecker(reorder2, max_executions=20_000).check()
+        assert report.found_bug
+        assert report.rf_classes >= report.first_bug_at_class
+
+    def test_deterministic(self, reorder2):
+        a = ModelChecker(reorder2, max_executions=20_000).check()
+        b = ModelChecker(reorder2, max_executions=20_000).check()
+        assert a.first_bug_at_class == b.first_bug_at_class
+        assert a.executions == b.executions
+
+    def test_bug_free_program_verified(self, racefree):
+        from dataclasses import replace
+
+        supported = replace(racefree, mc_supported=True)
+        report = ModelChecker(supported, max_executions=50_000).check()
+        assert not report.found_bug
+        assert report.complete
+
+
+class TestQLearning:
+    def test_hash_is_commutative(self):
+        a = commutative_rf_hash(commutative_rf_hash(0, "w1", "r1"), "w2", "r2")
+        b = commutative_rf_hash(commutative_rf_hash(0, "w2", "r2"), "w1", "r1")
+        assert a == b
+
+    def test_hash_differs_for_different_pairs(self):
+        assert commutative_rf_hash(0, "w1", "r1") != commutative_rf_hash(0, "w1", "r2")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QLearningRfPolicy(learning_rate=0)
+        with pytest.raises(ValueError):
+            QLearningRfPolicy(discount=1.0)
+
+    def test_q_table_accumulates_negative_values(self, reorder3):
+        policy = QLearningRfPolicy(seed=0)
+        for _ in range(5):
+            run_program(reorder3, policy)
+        assert policy.q
+        assert min(policy.q.values()) < 0
+
+    def test_learning_changes_exploration(self, reorder3):
+        """With negative rewards on visited pairs, later executions should
+        visit rf classes earlier ones did not."""
+        policy = QLearningRfPolicy(seed=0)
+        signatures = [run_program(reorder3, policy).trace.rf_signature() for _ in range(30)]
+        assert len(set(signatures)) > 1
+
+    def test_finds_shallow_bug(self, racy_counter):
+        policy = QLearningRfPolicy(seed=1)
+        assert any(run_program(racy_counter, policy).crashed for _ in range(200))

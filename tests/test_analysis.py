@@ -1,0 +1,261 @@
+"""Trace analyses: vector clocks, HB race detection, locksets, lock graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    VectorClock,
+    check_lock_discipline,
+    concurrent,
+    find_races,
+    predict_deadlocks,
+)
+from repro.runtime import program, run_program
+from repro.schedulers import PosPolicy, RandomWalkPolicy
+
+
+def trace_of(prog, seed=0, policy=None):
+    return run_program(prog, policy or PosPolicy(seed)).trace
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        clock = VectorClock()
+        clock.tick(3)
+        clock.tick(3)
+        assert clock.get(3) == 2
+        assert clock.get(1) == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({1: 5, 2: 1})
+        b = VectorClock({1: 2, 3: 4})
+        a.join(b)
+        assert a.get(1) == 5 and a.get(2) == 1 and a.get(3) == 4
+
+    def test_leq_and_concurrency(self):
+        lo = VectorClock({1: 1})
+        hi = VectorClock({1: 2, 2: 1})
+        assert lo.leq(hi)
+        assert not hi.leq(lo)
+        assert not concurrent(lo, hi)
+        assert concurrent(VectorClock({1: 1}), VectorClock({2: 1}))
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1 and b.get(1) == 2
+
+    def test_equality(self):
+        assert VectorClock({1: 2}) == VectorClock({1: 2, 2: 0})
+        assert VectorClock({1: 2}) != VectorClock({1: 3})
+
+
+class TestHbRaces:
+    def test_racy_counter_flagged(self, racy_counter):
+        # Under any schedule, the two unprotected RMW sequences race.
+        report = find_races(trace_of(racy_counter, seed=1))
+        assert report.racy_locations == {"var:x"}
+
+    def test_locked_counter_clean(self, racefree):
+        for seed in range(10):
+            report = find_races(trace_of(racefree, seed))
+            assert len(report) == 0, f"false positive under seed {seed}"
+
+    def test_join_orders_parent_reads(self):
+        @program("t/joinhb")
+        def prog(t):
+            def child(t, x):
+                yield t.write(x, 1)
+
+            x = t.var("x", 0)
+            handle = yield t.spawn(child, x)
+            yield t.join(handle)
+            yield t.read(x)  # ordered by join: not a race
+
+        for seed in range(10):
+            assert len(find_races(trace_of(prog, seed))) == 0
+
+    def test_spawn_orders_child_against_parent_prefix(self):
+        @program("t/spawnhb")
+        def prog(t):
+            def child(t, x):
+                yield t.read(x)
+
+            x = t.var("x", 0)
+            yield t.write(x, 1)  # before spawn: ordered
+            yield t.spawn(child, x)
+
+        for seed in range(10):
+            assert len(find_races(trace_of(prog, seed))) == 0
+
+    def test_unordered_write_read_flagged(self):
+        @program("t/racewr", bug_kinds=())
+        def prog(t):
+            def reader(t, x):
+                yield t.read(x)
+
+            x = t.var("x", 0)
+            yield t.spawn(reader, x)
+            yield t.write(x, 1)
+
+        report = find_races(trace_of(prog, seed=3))
+        assert report.racy_locations == {"var:x"}
+        assert all(r.kind in ("read-write", "write-read", "write-write") for r in report)
+
+    def test_atomic_rmw_not_flagged(self):
+        @program("t/atomics")
+        def prog(t):
+            def worker(t, x):
+                yield t.add(x, 1)
+
+            x = t.var("x", 0)
+            h1 = yield t.spawn(worker, x)
+            h2 = yield t.spawn(worker, x)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        for seed in range(10):
+            assert len(find_races(trace_of(prog, seed))) == 0
+
+    def test_condvar_signal_orders_waiter(self):
+        @program("t/cvhb")
+        def prog(t):
+            def consumer(t, m, c, ready, data):
+                yield t.lock(m)
+                ok = yield t.read(ready)
+                if not ok:
+                    yield t.wait(c, m)
+                yield t.unlock(m)
+                yield t.read(data)  # ordered after producer's write
+
+            def producer(t, m, c, ready, data):
+                yield t.write(data, 1)
+                yield t.lock(m)
+                yield t.write(ready, 1)
+                yield t.signal(c)
+                yield t.unlock(m)
+
+            m = t.mutex("m")
+            c = t.cond("c")
+            ready = t.var("ready", 0)
+            data = t.var("data", 0)
+            h1 = yield t.spawn(consumer, m, c, ready, data)
+            h2 = yield t.spawn(producer, m, c, ready, data)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        for seed in range(20):
+            report = find_races(trace_of(prog, seed))
+            assert "var:data" not in report.racy_locations, f"seed {seed}"
+
+    def test_race_detected_even_on_passing_schedule(self, racy_counter):
+        # The whole point of dynamic analysis: the observed run need not
+        # crash for the race to be implicated.
+        for seed in range(50):
+            result = run_program(racy_counter, RandomWalkPolicy(seed))
+            if not result.crashed:
+                assert len(find_races(result.trace)) > 0
+                return
+        raise AssertionError("no passing schedule found")
+
+    def test_distinct_dedupes_by_source_location(self, racy_counter):
+        report = find_races(trace_of(racy_counter, seed=1))
+        assert len(report.distinct()) <= len(report)
+
+
+class TestLockset:
+    def test_wronglock_discipline_flagged(self):
+        from repro import bench
+
+        trace = trace_of(bench.get("CS/wronglock"), seed=0)
+        report = check_lock_discipline(trace)
+        assert "var:data" in report.flagged_locations
+
+    def test_consistent_locking_clean(self, racefree):
+        report = check_lock_discipline(trace_of(racefree, seed=0))
+        assert len(report) == 0
+        assert report.candidate_locksets.get("var:x") == frozenset({"mutex:m"})
+
+    def test_single_thread_locations_not_flagged(self, sequential):
+        report = check_lock_discipline(trace_of(sequential, seed=0))
+        assert len(report) == 0
+
+    def test_unprotected_sharing_flagged(self, racy_counter):
+        report = check_lock_discipline(trace_of(racy_counter, seed=1))
+        assert "var:x" in report.flagged_locations
+
+
+class TestLockGraph:
+    def test_abba_predicted_from_passing_run(self, abba_deadlock):
+        for seed in range(50):
+            result = run_program(abba_deadlock, RandomWalkPolicy(seed))
+            if result.crashed:
+                continue
+            report = predict_deadlocks(result.trace)
+            assert report.has_potential_deadlock
+            prediction = report.predictions[0]
+            assert set(prediction.cycle) == {"mutex:A", "mutex:B"}
+            assert len(prediction.threads) == 2
+            return
+        raise AssertionError("no passing schedule found")
+
+    def test_consistent_order_not_flagged(self):
+        @program("t/ordered_locks")
+        def prog(t):
+            def worker(t, ma, mb):
+                yield t.lock(ma)
+                yield t.lock(mb)
+                yield t.unlock(mb)
+                yield t.unlock(ma)
+
+            ma = t.mutex("A")
+            mb = t.mutex("B")
+            h1 = yield t.spawn(worker, ma, mb)
+            h2 = yield t.spawn(worker, ma, mb)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        for seed in range(10):
+            report = predict_deadlocks(trace_of(prog, seed))
+            assert not report.has_potential_deadlock
+
+    def test_single_lock_programs_clean(self, racefree):
+        assert not predict_deadlocks(trace_of(racefree, seed=0)).has_potential_deadlock
+
+    def test_carter01_predicted(self):
+        from repro import bench
+
+        prog = bench.get("CS/carter01")
+        for seed in range(50):
+            result = run_program(prog, PosPolicy(seed))
+            if not result.crashed:
+                assert predict_deadlocks(result.trace).has_potential_deadlock
+                return
+        raise AssertionError("no passing carter01 schedule found")
+
+
+class TestAnalysisOnBenchmarks:
+    """Cross-checks: the analyses implicate the bugs the models encode."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["CS/account", "CS/stack", "Splash2/barnes", "Chess/WorkStealQueue"],
+    )
+    def test_racy_benchmarks_have_hb_races(self, name):
+        from repro import bench
+
+        trace = trace_of(bench.get(name), seed=2)
+        assert len(find_races(trace)) > 0, f"{name} shows no HB race"
+
+    def test_deadlock_benchmarks_have_lock_cycles(self):
+        from repro import bench
+
+        prog = bench.get("CS/deadlock01")
+        for seed in range(50):
+            result = run_program(prog, PosPolicy(seed))
+            if not result.crashed:
+                assert predict_deadlocks(result.trace).has_potential_deadlock
+                return
+        raise AssertionError("no passing deadlock01 run")

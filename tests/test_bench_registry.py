@@ -1,0 +1,148 @@
+"""The benchmark registry: structure, naming and metadata of the 49 models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.runtime import run_program
+from repro.schedulers import PosPolicy
+
+#: Appendix B program names, verbatim from the paper.
+APPENDIX_B_NAMES = [
+    "CB/aget-bug2",
+    "CB/pbzip2-0.9.4",
+    "CB/stringbuffer-jdk1.4",
+    "CS/account",
+    "CS/bluetooth_driver",
+    "CS/carter01",
+    "CS/circular_buffer",
+    "CS/deadlock01",
+    "CS/lazy01",
+    "CS/queue",
+    "CS/reorder_10",
+    "CS/reorder_100",
+    "CS/reorder_20",
+    "CS/reorder_3",
+    "CS/reorder_4",
+    "CS/reorder_5",
+    "CS/reorder_50",
+    "CS/stack",
+    "CS/token_ring",
+    "CS/twostage",
+    "CS/twostage_100",
+    "CS/twostage_20",
+    "CS/twostage_50",
+    "CS/wronglock",
+    "CS/wronglock_3",
+    "Chess/InterlockedWorkStealQueue",
+    "Chess/InterlockedWorkStealQueueWithState",
+    "Chess/StateWorkStealQueue",
+    "Chess/WorkStealQueue",
+    "ConVul-CVE-Benchmarks/CVE-2009-3547",
+    "ConVul-CVE-Benchmarks/CVE-2011-2183",
+    "ConVul-CVE-Benchmarks/CVE-2013-1792",
+    "ConVul-CVE-Benchmarks/CVE-2015-7550",
+    "ConVul-CVE-Benchmarks/CVE-2016-1972",
+    "ConVul-CVE-Benchmarks/CVE-2016-1973",
+    "ConVul-CVE-Benchmarks/CVE-2016-7911",
+    "ConVul-CVE-Benchmarks/CVE-2016-9806",
+    "ConVul-CVE-Benchmarks/CVE-2017-15265",
+    "ConVul-CVE-Benchmarks/CVE-2017-6346",
+    "Inspect_benchmarks/boundedBuffer",
+    "Inspect_benchmarks/ctrace-test",
+    "Inspect_benchmarks/qsort_mt",
+    "RADBench/bug4",
+    "RADBench/bug5",
+    "RADBench/bug6",
+    "SafeStack",
+    "Splash2/barnes",
+    "Splash2/fft",
+    "Splash2/lu",
+]
+
+
+class TestRegistryStructure:
+    def test_exactly_49_programs(self):
+        assert len(bench.all_programs()) == bench.EXPECTED_PROGRAM_COUNT == 49
+
+    def test_names_match_appendix_b(self):
+        assert bench.names() == sorted(APPENDIX_B_NAMES)
+
+    def test_get_by_name(self):
+        assert bench.get("CS/account").name == "CS/account"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            bench.get("CS/nonexistent")
+
+    def test_every_program_declares_a_bug(self):
+        for prog in bench.all_programs().values():
+            assert prog.bug_kinds, f"{prog.name} declares no bug kinds"
+
+    def test_suites_grouping(self):
+        assert len(bench.by_suite("CS")) == 22
+        assert len(bench.by_suite("ConVul")) == 10
+        assert len(bench.by_suite("Chess")) == 4
+        assert len(bench.by_suite("CB")) == 3
+        assert len(bench.by_suite("Inspect")) == 3
+        assert len(bench.by_suite("Splash2")) == 3
+        assert len(bench.by_suite("RADBench")) == 3
+        assert len(bench.by_suite("SafeStack")) == 1
+
+    def test_mc_supported_subset_matches_paper(self):
+        # Appendix B shows 13 non-Error GenMC rows.
+        supported = {p.name for p in bench.mc_supported()}
+        assert supported == {
+            "CS/account",
+            "CS/bluetooth_driver",
+            "CS/carter01",
+            "CS/circular_buffer",
+            "CS/deadlock01",
+            "CS/lazy01",
+            "CS/queue",
+            "CS/stack",
+            "CS/token_ring",
+            "CS/twostage",
+            "CS/wronglock",
+            "ConVul-CVE-Benchmarks/CVE-2013-1792",
+            "Inspect_benchmarks/ctrace-test",
+        }
+
+    def test_deadlock_programs(self):
+        # Paper Section 5.1: four programs contain deadlocks.
+        deadlocks = [p.name for p in bench.all_programs().values() if "deadlock" in p.bug_kinds]
+        assert sorted(deadlocks) == [
+            "CS/carter01",
+            "CS/deadlock01",
+            "Inspect_benchmarks/qsort_mt",
+            "RADBench/bug6",
+        ]
+
+    def test_memory_safety_program_count(self):
+        # Paper Section 5.1: 13 programs contain memory-safety issues.
+        memory_kinds = {"use-after-free", "double-free", "null-dereference", "memory-safety"}
+        memory = [p.name for p in bench.all_programs().values() if p.bug_kinds & memory_kinds]
+        assert len(memory) == 11  # 10 ConVul CVEs + CB/pbzip2 in our models
+
+    def test_registry_is_cached(self):
+        assert bench.all_programs() is bench.all_programs()
+
+
+class TestProgramsExecute:
+    """Every model must run cleanly (no harness errors) under POS."""
+
+    @pytest.mark.parametrize("name", sorted(APPENDIX_B_NAMES))
+    def test_runs_without_harness_error(self, name):
+        prog = bench.get(name)
+        result = run_program(prog, PosPolicy(0), max_steps=prog.max_steps or 20_000)
+        assert result.steps > 0
+
+    @pytest.mark.parametrize("name", ["CS/reorder_100", "CS/twostage_100"])
+    def test_large_models_have_matching_thread_counts(self, name):
+        from repro.runtime.executor import Executor
+
+        prog = bench.get(name)
+        executor = Executor(prog, PosPolicy(0))
+        executor.run()
+        assert executor.thread_count() >= 101  # n workers + checker + main

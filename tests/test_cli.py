@@ -1,0 +1,79 @@
+"""The ``rff`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_programs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CS/reorder_100" in out
+        assert out.count("\n") == 49
+
+    def test_marks_mc_supported(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "[mc]" in out
+
+
+class TestFuzz:
+    def test_fuzz_finds_reorder(self, capsys):
+        assert main(["fuzz", "CS/reorder_10", "--budget", "200", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "first crash at:" in out
+        assert "assertion" in out
+
+    def test_fuzz_ablation_flags(self, capsys):
+        code = main(
+            ["fuzz", "CS/reorder_20", "--budget", "100", "--no-constraints", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first crash at:     None" in out
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            main(["fuzz", "CS/bogus"])
+
+
+class TestRun:
+    def test_run_pos(self, capsys):
+        assert main(["run", "CS/account", "--tool", "POS", "--budget", "300"]) == 0
+        assert "POS on CS/account" in capsys.readouterr().out
+
+    def test_run_genmc_error(self, capsys):
+        assert main(["run", "CS/reorder_10", "--tool", "GenMC"]) == 2
+        assert "Error" in capsys.readouterr().out
+
+    def test_unknown_tool_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "CS/account", "--tool", "NotATool"])
+
+
+class TestCampaign:
+    def test_small_campaign(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--trials", "2",
+                "--budget", "100",
+                "--programs", "CS/account", "Splash2/lu",
+                "--tools", "RFF", "POS",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean bugs found" in out
+        assert "cumulative bugs" in out
+
+
+class TestFigure5:
+    def test_figure5_runs(self, capsys):
+        code = main(["figure5", "--program", "CS/reorder_3", "--executions", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("rf signatures") == 2  # POS and RFF blocks

@@ -1,0 +1,143 @@
+"""Abstract schedules: constraint validity, instantiation, set algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent
+from repro.core.trace import Trace
+from repro.runtime import run_program
+from repro.schedulers import RandomWalkPolicy
+
+READ = AbstractEvent("r", "var:x", "reader:1")
+WRITE = AbstractEvent("w", "var:x", "writer:1")
+OTHER_WRITE = AbstractEvent("w", "var:x", "writer:2")
+Y_READ = AbstractEvent("r", "var:y", "reader:2")
+
+
+class TestConstraintValidity:
+    def test_well_formed_positive(self):
+        c = Constraint(READ, WRITE)
+        assert c.positive and c.location == "var:x"
+
+    def test_initial_write_allowed(self):
+        c = Constraint(READ, None)
+        assert c.write is None
+        assert "init" in str(c)
+
+    def test_read_side_must_read(self):
+        with pytest.raises(ValueError):
+            Constraint(WRITE, WRITE)
+
+    def test_write_side_must_write(self):
+        with pytest.raises(ValueError):
+            Constraint(READ, Y_READ)
+
+    def test_locations_must_match(self):
+        y_write = AbstractEvent("w", "var:y", "writer:9")
+        with pytest.raises(ValueError):
+            Constraint(READ, y_write)
+
+    def test_negation_flips_sign_twice_is_identity(self):
+        c = Constraint(READ, WRITE)
+        assert c.negated().positive is False
+        assert c.negated().negated() == c
+
+    def test_str_arrow_differs_by_sign(self):
+        c = Constraint(READ, WRITE)
+        assert "--rf->" in str(c)
+        assert "-/rf/->" in str(c.negated())
+
+
+class TestScheduleAlgebra:
+    def test_empty_schedule(self):
+        alpha = AbstractSchedule.empty()
+        assert len(alpha) == 0
+        assert str(alpha) == "α{}"
+
+    def test_insert_delete_roundtrip(self):
+        c = Constraint(READ, WRITE)
+        alpha = AbstractSchedule.empty().insert(c)
+        assert c in alpha.constraints
+        assert len(alpha.delete(c)) == 0
+
+    def test_insert_is_idempotent(self):
+        c = Constraint(READ, WRITE)
+        alpha = AbstractSchedule.of(c).insert(c)
+        assert len(alpha) == 1
+
+    def test_swap_replaces(self):
+        c1 = Constraint(READ, WRITE)
+        c2 = Constraint(READ, OTHER_WRITE)
+        alpha = AbstractSchedule.of(c1).swap(c1, c2)
+        assert alpha.constraints == frozenset({c2})
+
+    def test_negate_in_place(self):
+        c = Constraint(READ, WRITE)
+        alpha = AbstractSchedule.of(c).negate(c)
+        assert alpha.constraints == frozenset({c.negated()})
+
+    def test_positives_negatives_partition(self):
+        c1 = Constraint(READ, WRITE)
+        c2 = Constraint(Y_READ, None, positive=False)
+        alpha = AbstractSchedule.of(c1, c2)
+        assert alpha.positives == frozenset({c1})
+        assert alpha.negatives == frozenset({c2})
+
+    def test_schedules_are_hashable(self):
+        c = Constraint(READ, WRITE)
+        assert len({AbstractSchedule.of(c), AbstractSchedule.of(c)}) == 1
+
+
+class TestInstantiation:
+    def _trace_with_pair(self):
+        from repro.core.events import Event
+
+        return Trace(
+            events=[
+                Event(1, 1, "w", "var:x", "writer:1"),
+                Event(2, 2, "r", "var:x", "reader:1", rf=1),
+            ]
+        )
+
+    def test_positive_witnessed(self):
+        trace = self._trace_with_pair()
+        assert Constraint(READ, WRITE).witnessed_by(trace)
+        assert AbstractSchedule.of(Constraint(READ, WRITE)).instantiated_by(trace)
+
+    def test_negative_violated_when_witnessed(self):
+        trace = self._trace_with_pair()
+        alpha = AbstractSchedule.of(Constraint(READ, WRITE, positive=False))
+        assert not alpha.instantiated_by(trace)
+
+    def test_positive_unwitnessed_fails(self):
+        trace = self._trace_with_pair()
+        alpha = AbstractSchedule.of(Constraint(READ, OTHER_WRITE))
+        assert not alpha.instantiated_by(trace)
+
+    def test_negative_unwitnessed_holds(self):
+        trace = self._trace_with_pair()
+        alpha = AbstractSchedule.of(Constraint(READ, OTHER_WRITE, positive=False))
+        assert alpha.instantiated_by(trace)
+
+    def test_empty_schedule_instantiated_by_everything(self):
+        assert AbstractSchedule.empty().instantiated_by(self._trace_with_pair())
+        assert AbstractSchedule.empty().instantiated_by(Trace())
+
+    def test_paper_equivalence_property(self, reorder3):
+        """If two traces are rf-equivalent, either both or neither
+        instantiate any abstract schedule (paper Section 3)."""
+        runs = [run_program(reorder3, RandomWalkPolicy(s)) for s in range(30)]
+        pairs = [
+            (a, b)
+            for i, a in enumerate(runs)
+            for b in runs[i + 1 :]
+            if a.trace.rf_equivalent(b.trace)
+        ]
+        assert pairs, "expected at least one rf-equivalent pair"
+        a, b = pairs[0]
+        some_pair = next(iter(a.trace.rf_pairs()))
+        writer, reader = some_pair
+        alpha = AbstractSchedule.of(Constraint(reader, writer))
+        assert alpha.instantiated_by(a.trace) == alpha.instantiated_by(b.trace)

@@ -1,0 +1,132 @@
+"""Events, abstract events and the reads-from trace machinery."""
+
+from __future__ import annotations
+
+from repro.core.events import AbstractEvent, Event
+from repro.core.trace import Trace
+from repro.runtime import run_program
+from repro.schedulers import RandomWalkPolicy
+
+
+def ev(eid, tid, kind, loc="f:1", location="var:x", rf=None):
+    return Event(eid=eid, tid=tid, kind=kind, location=location, loc=loc, rf=rf)
+
+
+class TestAbstractEvent:
+    def test_read_kinds(self):
+        assert AbstractEvent("r", "var:x", "f:1").is_read
+        assert AbstractEvent("hr", "heap:n#0.v", "f:1").is_read
+        assert AbstractEvent("lock", "mutex:m", "f:1").is_read
+        assert not AbstractEvent("w", "var:x", "f:1").is_read
+
+    def test_write_kinds(self):
+        assert AbstractEvent("w", "var:x", "f:1").is_write
+        assert AbstractEvent("unlock", "mutex:m", "f:1").is_write
+        assert AbstractEvent("free", "heap:n#0", "f:1").is_write
+        assert not AbstractEvent("r", "var:x", "f:1").is_write
+
+    def test_rmw_is_both(self):
+        rmw = AbstractEvent("rmw", "var:x", "f:1")
+        assert rmw.is_read and rmw.is_write
+
+    def test_spawn_is_neither(self):
+        spawn = AbstractEvent("spawn", "thread:spawn", "f:1")
+        assert not spawn.is_read and not spawn.is_write
+
+    def test_equality_by_value(self):
+        assert AbstractEvent("r", "var:x", "f:1") == AbstractEvent("r", "var:x", "f:1")
+        assert AbstractEvent("r", "var:x", "f:1") != AbstractEvent("r", "var:x", "f:2")
+
+    def test_str_form(self):
+        assert str(AbstractEvent("r", "var:x", "f:1")) == "r(var:x)@f:1"
+
+
+class TestEvent:
+    def test_abstract_drops_id_and_thread(self):
+        concrete = ev(5, 2, "w")
+        assert concrete.abstract == AbstractEvent("w", "var:x", "f:1")
+
+    def test_same_abstract_for_different_threads(self):
+        assert ev(1, 1, "w").abstract == ev(9, 7, "w").abstract
+
+
+class TestTraceReadsFrom:
+    def trace(self):
+        return Trace(
+            events=[
+                ev(1, 0, "w", loc="main:1"),
+                ev(2, 1, "r", loc="worker:1", rf=1),
+                ev(3, 2, "w", loc="main:1"),
+                ev(4, 1, "r", loc="worker:2", rf=3),
+                ev(5, 1, "r", loc="worker:3", rf=0),
+            ]
+        )
+
+    def test_reads_from_mapping(self):
+        assert self.trace().reads_from() == {2: 1, 4: 3, 5: 0}
+
+    def test_rf_pairs_are_abstract(self):
+        pairs = self.trace().rf_pairs()
+        assert (AbstractEvent("w", "var:x", "main:1"), AbstractEvent("r", "var:x", "worker:1")) in pairs
+
+    def test_initial_read_pairs_with_none(self):
+        pairs = self.trace().rf_pairs()
+        assert (None, AbstractEvent("r", "var:x", "worker:3")) in pairs
+
+    def test_signature_is_hashable_frozenset(self):
+        signature = self.trace().rf_signature()
+        assert isinstance(signature, frozenset)
+        assert len({signature}) == 1
+
+    def test_event_by_id(self):
+        assert self.trace().event_by_id(3).tid == 2
+
+
+class TestRfEquivalence:
+    def test_reorders_of_same_rf_are_equivalent(self, reorder3):
+        # Find two different concrete schedules with equal signatures.
+        by_signature = {}
+        for seed in range(40):
+            result = run_program(reorder3, RandomWalkPolicy(seed))
+            if result.crashed:
+                continue
+            key = result.trace.rf_signature()
+            if key in by_signature and by_signature[key].schedule != result.schedule:
+                other = by_signature[key]
+                assert result.trace.rf_equivalent(other.trace)
+                return
+            by_signature[key] = result
+        raise AssertionError("expected two rf-equivalent schedules in 40 runs")
+
+    def test_crashing_and_passing_runs_not_equivalent(self, reorder3):
+        crash = ok = None
+        for seed in range(300):
+            result = run_program(reorder3, RandomWalkPolicy(seed))
+            if result.crashed and crash is None:
+                crash = result
+            if not result.crashed and ok is None:
+                ok = result
+            if crash and ok:
+                break
+        assert crash and ok
+        assert not crash.trace.rf_equivalent(ok.trace)
+
+    def test_empty_traces_equivalent(self):
+        assert Trace().rf_equivalent(Trace())
+
+
+class TestTraceUtilities:
+    def test_memory_abstract_events_partition(self, reorder3):
+        result = run_program(reorder3, RandomWalkPolicy(1))
+        reads, writes = result.trace.memory_abstract_events()
+        assert all(e.is_read for e in reads)
+        assert all(e.is_write for e in writes)
+
+    def test_format_limits_output(self):
+        trace = Trace(events=[ev(i, 0, "w") for i in range(1, 11)])
+        text = trace.format(limit=3)
+        assert "7 more events" in text
+
+    def test_format_includes_outcome(self):
+        trace = Trace(events=[ev(1, 0, "w")], outcome="assertion", failure="boom")
+        assert "assertion" in trace.format()

@@ -1,0 +1,143 @@
+"""Greybox feedback (isInteresting) and the cut-off exponential power
+schedule (paper Sections 3 and 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import AbstractSchedule
+from repro.core.corpus import Corpus, CorpusEntry
+from repro.core.feedback import RfFeedback
+from repro.core.power import FlatSchedule, PowerSchedule
+from repro.runtime import run_program
+from repro.schedulers import PosPolicy, RandomWalkPolicy
+
+
+class TestRfFeedback:
+    def test_first_trace_is_interesting(self, reorder3):
+        feedback = RfFeedback()
+        trace = run_program(reorder3, PosPolicy(0)).trace
+        observation = feedback.observe(trace)
+        assert observation.interesting
+        assert observation.new_pairs
+
+    def test_repeat_trace_not_interesting(self, reorder3):
+        feedback = RfFeedback()
+        trace = run_program(reorder3, PosPolicy(0)).trace
+        feedback.observe(trace)
+        again = feedback.observe(trace)
+        assert not again.new_pairs
+        assert not again.interesting
+
+    def test_crash_is_always_interesting(self, racy_counter):
+        feedback = RfFeedback()
+        crashing = None
+        for seed in range(300):
+            result = run_program(racy_counter, RandomWalkPolicy(seed))
+            if result.crashed:
+                crashing = result
+                break
+        assert crashing is not None
+        feedback.observe(crashing.trace)
+        again = feedback.observe(crashing.trace)
+        assert again.crashed and again.interesting
+
+    def test_signature_counting(self, reorder3):
+        feedback = RfFeedback()
+        trace = run_program(reorder3, PosPolicy(0)).trace
+        feedback.observe(trace)
+        feedback.observe(trace)
+        assert feedback.frequency(trace.rf_signature()) == 2
+        assert feedback.unique_signatures == 1
+        assert feedback.executions == 2
+
+    def test_pair_coverage_monotone(self, reorder3):
+        feedback = RfFeedback()
+        last = 0
+        for seed in range(10):
+            feedback.observe(run_program(reorder3, PosPolicy(seed)).trace)
+            assert feedback.pair_coverage >= last
+            last = feedback.pair_coverage
+
+
+class TestPowerSchedule:
+    def _setup(self, frequencies):
+        """Corpus of entries whose signatures have the given frequencies."""
+        feedback = RfFeedback()
+        corpus = Corpus()
+        for index, frequency in enumerate(frequencies):
+            signature = frozenset({(None, _fake_read(index))})
+            feedback.signature_counts[signature] = frequency
+            corpus.add(CorpusEntry(schedule=AbstractSchedule.empty(), signature=signature))
+        return corpus, feedback
+
+    def test_over_explored_entries_skipped(self):
+        corpus, feedback = self._setup([10, 1, 1])
+        power = PowerSchedule()
+        entries = corpus.entries
+        # Mean is 4: the frequency-10 entry is strictly above, so skipped.
+        assert power.energy(entries[0], corpus, feedback) == 0
+        assert power.energy(entries[1], corpus, feedback) >= 1
+
+    def test_energy_grows_exponentially_with_s(self):
+        corpus, feedback = self._setup([1, 1])
+        power = PowerSchedule(beta=1.0, max_energy=1000)
+        entry = corpus.entries[0]
+        energies = []
+        for s in range(6):
+            entry.chosen_since_skip = s
+            energies.append(power.energy(entry, corpus, feedback))
+        assert energies == [1, 2, 4, 8, 16, 32]
+
+    def test_cutoff_at_max_energy(self):
+        corpus, feedback = self._setup([1, 1])
+        power = PowerSchedule(beta=1.0, max_energy=16)
+        entry = corpus.entries[0]
+        entry.chosen_since_skip = 10
+        assert power.energy(entry, corpus, feedback) == 16
+
+    def test_gamma_scales_energy(self):
+        corpus, feedback = self._setup([1, 1])
+        power = PowerSchedule(beta=1.0, max_energy=1000)
+        entry = corpus.entries[0]
+        entry.new_pairs = 8
+        assert power.energy(entry, corpus, feedback) == 8
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            PowerSchedule(beta=0)
+        with pytest.raises(ValueError):
+            PowerSchedule(max_energy=0)
+
+    def test_flat_schedule_constant(self):
+        corpus, feedback = self._setup([10, 1])
+        flat = FlatSchedule()
+        assert flat.energy(corpus.entries[0], corpus, feedback) == 1
+        assert flat.energy(corpus.entries[1], corpus, feedback) == 1
+
+    def test_mean_frequency_empty_corpus(self):
+        assert PowerSchedule().mean_frequency(Corpus(), RfFeedback()) == 0.0
+
+
+class TestCorpus:
+    def test_round_robin_cycling(self):
+        corpus = Corpus()
+        entries = [CorpusEntry(schedule=AbstractSchedule.empty()) for _ in range(3)]
+        for entry in entries:
+            corpus.add(entry)
+        picks = [corpus.next_entry() for _ in range(6)]
+        assert picks == entries + entries
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(LookupError):
+            Corpus().next_entry()
+
+    def test_gamma_floor(self):
+        entry = CorpusEntry(schedule=AbstractSchedule.empty(), new_pairs=0, satisfied_fraction=0.0)
+        assert entry.gamma >= 0.25
+
+
+def _fake_read(index):
+    from repro.core.events import AbstractEvent
+
+    return AbstractEvent("r", f"var:v{index}", f"f:{index}")

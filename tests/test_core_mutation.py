@@ -1,0 +1,135 @@
+"""Mutation operators and the observed-event pool."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent
+from repro.core.mutation import MUTATION_OPERATORS, EventPool, ScheduleMutator
+from repro.runtime import run_program
+from repro.schedulers import RandomWalkPolicy
+
+
+def filled_pool(program, seeds=5):
+    pool = EventPool()
+    for seed in range(seeds):
+        pool.observe(run_program(program, RandomWalkPolicy(seed)).trace)
+    return pool
+
+
+class TestEventPool:
+    def test_observe_counts_new_events_once(self, reorder3):
+        pool = EventPool()
+        trace = run_program(reorder3, RandomWalkPolicy(0)).trace
+        first = pool.observe(trace)
+        second = pool.observe(trace)
+        assert first > 0
+        assert second == 0
+
+    def test_reads_and_writes_split_by_location(self, reorder3):
+        pool = filled_pool(reorder3)
+        assert "var:a" in pool.reads and "var:a" in pool.writes
+        assert all(e.is_read for events in pool.reads.values() for e in events)
+        assert all(e.is_write for events in pool.writes.values() for e in events)
+
+    def test_random_constraint_none_on_empty_pool(self):
+        assert EventPool().random_constraint(random.Random(0)) is None
+
+    def test_random_constraint_well_formed(self, reorder3):
+        pool = filled_pool(reorder3)
+        rng = random.Random(1)
+        for _ in range(100):
+            constraint = pool.random_constraint(rng)
+            assert constraint is not None
+            assert constraint.read.is_read
+            assert constraint.write is None or constraint.write.location == constraint.read.location
+
+    def test_random_constraint_can_target_initial_write(self, reorder3):
+        pool = filled_pool(reorder3)
+        rng = random.Random(2)
+        draws = [pool.random_constraint(rng) for _ in range(200)]
+        assert any(c.write is None for c in draws)
+        assert any(c.write is not None for c in draws)
+
+    def test_positive_bias_respected(self, reorder3):
+        pool = filled_pool(reorder3)
+        rng = random.Random(3)
+        always_negative = [pool.random_constraint(rng, positive_bias=0.0) for _ in range(50)]
+        assert all(not c.positive for c in always_negative)
+        always_positive = [pool.random_constraint(rng, positive_bias=1.0) for _ in range(50)]
+        assert all(c.positive for c in always_positive)
+
+    def test_len_counts_distinct_abstract_events(self, reorder3):
+        pool = filled_pool(reorder3)
+        assert len(pool) > 0
+
+
+class TestScheduleMutator:
+    def test_operator_set_matches_paper(self):
+        assert set(MUTATION_OPERATORS) == {"insert", "swap", "delete", "negate"}
+
+    def test_mutation_of_empty_schedule_inserts(self, reorder3):
+        pool = filled_pool(reorder3)
+        mutator = ScheduleMutator(random.Random(0))
+        mutant = mutator.mutate(AbstractSchedule.empty(), pool)
+        assert len(mutant) == 1
+
+    def test_empty_pool_returns_alpha_unchanged(self):
+        mutator = ScheduleMutator(random.Random(0))
+        alpha = AbstractSchedule.empty()
+        assert mutator.mutate(alpha, EventPool()) == alpha
+
+    def test_size_never_exceeds_cap(self, reorder3):
+        pool = filled_pool(reorder3)
+        mutator = ScheduleMutator(random.Random(0), max_constraints=3)
+        alpha = AbstractSchedule.empty()
+        for _ in range(200):
+            alpha = mutator.mutate(alpha, pool)
+            assert len(alpha) <= 3
+
+    def test_all_operators_eventually_used(self, reorder3):
+        pool = filled_pool(reorder3)
+        mutator = ScheduleMutator(random.Random(0))
+        alpha = AbstractSchedule.empty()
+        for _ in range(300):
+            alpha = mutator.mutate(alpha, pool)
+        assert all(count > 0 for count in mutator.operator_counts.values())
+
+    def test_mutation_deterministic_given_rng(self, reorder3):
+        pool_a = filled_pool(reorder3)
+        pool_b = filled_pool(reorder3)
+        m1 = ScheduleMutator(random.Random(7))
+        m2 = ScheduleMutator(random.Random(7))
+        a = b = AbstractSchedule.empty()
+        for _ in range(50):
+            a = m1.mutate(a, pool_a)
+            b = m2.mutate(b, pool_b)
+        assert a == b
+
+    def test_negate_produces_negative_constraint(self, reorder3):
+        pool = filled_pool(reorder3)
+        rng = random.Random(0)
+        constraint = pool.random_constraint(rng, positive_bias=1.0)
+        alpha = AbstractSchedule.of(constraint)
+        negated = alpha.negate(constraint)
+        assert next(iter(negated.constraints)).positive is False
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleMutator(random.Random(0), max_constraints=0)
+
+    def test_mutants_stay_well_formed(self, reorder3):
+        pool = filled_pool(reorder3)
+        mutator = ScheduleMutator(random.Random(11))
+        alpha = AbstractSchedule.empty()
+        for _ in range(300):
+            alpha = mutator.mutate(alpha, pool)
+            for constraint in alpha:
+                assert isinstance(constraint, Constraint)
+                assert constraint.read.is_read
+                if constraint.write is not None:
+                    assert isinstance(constraint.write, AbstractEvent)
+                    assert constraint.write.location == constraint.read.location

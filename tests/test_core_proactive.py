@@ -1,0 +1,204 @@
+"""The proactive reads-from scheduler (Figure 2 state machines).
+
+These tests drive real executions: given a positive (or negative)
+constraint, the RFF policy must steer the schedule into (or away from) the
+corresponding reads-from pair on virtually every seed, where plain POS only
+hits it with the baseline probability.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.proactive import (
+    Bias,
+    NegativeTracker,
+    PositiveTracker,
+    RffSchedulerPolicy,
+    TrackerState,
+    make_tracker,
+)
+from repro.runtime import program, run_program
+from repro.schedulers import PosPolicy
+
+
+def _w1(t, x):
+    yield t.write(x, 1)
+
+
+def _w2(t, x):
+    yield t.write(x, 2)
+
+
+def _reader(t, x, out):
+    value = yield t.read(x)
+    yield t.write(out, value)
+
+
+@program("t/two_writers")
+def two_writers(t):
+    x = t.var("x", 0)
+    out = t.var("out", -1)
+    h1 = yield t.spawn(_w1, x)
+    h2 = yield t.spawn(_w2, x)
+    h3 = yield t.spawn(_reader, x, out)
+    yield t.join(h1)
+    yield t.join(h2)
+    yield t.join(h3)
+
+
+def abstract_events():
+    """Collect the reader/writer abstract events from one execution."""
+    trace = run_program(two_writers, PosPolicy(0)).trace
+    by_loc = {}
+    for event in trace:
+        if event.location == "var:x":
+            by_loc[event.loc.split(":")[0]] = event.abstract
+    return by_loc["_w1"], by_loc["_w2"], by_loc["_reader"]
+
+
+def observed_value(result):
+    """The value the reader forwarded to ``out``."""
+    out_writes = [e for e in result.trace if e.location == "var:out" and e.kind == "w"]
+    return out_writes[-1].value if out_writes else None
+
+
+class TestPositiveConstraintScheduling:
+    def test_positive_constraint_forces_target_write(self):
+        w1, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, w2))
+        values = [
+            observed_value(run_program(two_writers, RffSchedulerPolicy(alpha, seed=s)))
+            for s in range(30)
+        ]
+        # The reader must observe w2's value on (virtually) every schedule.
+        assert values.count(2) >= 28
+
+    def test_other_positive_target(self):
+        w1, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, w1))
+        values = [
+            observed_value(run_program(two_writers, RffSchedulerPolicy(alpha, seed=s)))
+            for s in range(30)
+        ]
+        assert values.count(1) >= 28
+
+    def test_initial_value_constraint(self):
+        _, _, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, None))
+        values = [
+            observed_value(run_program(two_writers, RffSchedulerPolicy(alpha, seed=s)))
+            for s in range(30)
+        ]
+        assert values.count(0) >= 28
+
+    def test_pos_baseline_is_spread_out(self):
+        values = [observed_value(run_program(two_writers, PosPolicy(s))) for s in range(60)]
+        # All three reads-from options occur under POS: no single option
+        # should dominate the way a constraint forces it to.
+        assert len({0, 1, 2} & set(values)) == 3
+
+
+class TestNegativeConstraintScheduling:
+    def test_negative_constraint_avoids_write(self):
+        w1, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, w2, positive=False))
+        values = [
+            observed_value(run_program(two_writers, RffSchedulerPolicy(alpha, seed=s)))
+            for s in range(30)
+        ]
+        assert 2 not in values
+
+    def test_negative_initial_constraint_forces_some_write(self):
+        _, _, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, None, positive=False))
+        values = [
+            observed_value(run_program(two_writers, RffSchedulerPolicy(alpha, seed=s)))
+            for s in range(30)
+        ]
+        assert 0 not in values
+
+
+class TestTrackerStates:
+    def test_factory_dispatch(self):
+        _, w2, reader = abstract_events()
+        assert isinstance(make_tracker(Constraint(reader, w2)), PositiveTracker)
+        assert isinstance(make_tracker(Constraint(reader, w2, positive=False)), NegativeTracker)
+
+    def test_positive_tracker_reaches_satisfied(self):
+        _, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, w2))
+        policy = RffSchedulerPolicy(alpha, seed=1)
+        run_program(two_writers, policy)
+        assert policy.trackers[0].state is TrackerState.SATISFIED
+
+    def test_satisfaction_counts(self):
+        _, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, w2))
+        policy = RffSchedulerPolicy(alpha, seed=1)
+        run_program(two_writers, policy)
+        assert policy.satisfaction() == (1, 1)
+
+    def test_negative_tracker_survives_unviolated(self):
+        _, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(Constraint(reader, w2, positive=False))
+        policy = RffSchedulerPolicy(alpha, seed=1)
+        run_program(two_writers, policy)
+        assert policy.trackers[0].state is TrackerState.ACTIVE
+        assert policy.satisfaction() == (1, 1)
+
+    def test_impossible_positive_init_constraint(self):
+        @program("t/forced_write")
+        def forced(t):
+            x = t.var("x", 0)
+            yield t.write(x, 5)
+            yield t.read(x)
+
+        trace = run_program(forced, PosPolicy(0)).trace
+        read = next(e for e in trace if e.kind == "r").abstract
+        alpha = AbstractSchedule.of(Constraint(read, None))
+        policy = RffSchedulerPolicy(alpha, seed=0)
+        run_program(forced, policy)
+        # Single-threaded: the write always precedes the read, so the
+        # initial-value constraint becomes impossible (q -> IMPOSSIBLE).
+        assert policy.trackers[0].state is TrackerState.IMPOSSIBLE
+        assert policy.satisfaction() == (0, 1)
+
+    def test_forced_violation_of_negative_constraint(self):
+        @program("t/forced_read")
+        def forced(t):
+            x = t.var("x", 0)
+            yield t.write(x, 5)
+            yield t.read(x)
+
+        trace = run_program(forced, PosPolicy(0)).trace
+        read = next(e for e in trace if e.kind == "r").abstract
+        write = next(e for e in trace if e.kind == "w").abstract
+        alpha = AbstractSchedule.of(Constraint(read, write, positive=False))
+        policy = RffSchedulerPolicy(alpha, seed=0)
+        run_program(forced, policy)
+        # Only one thread is runnable: the REJECT transition fires.
+        assert policy.trackers[0].state is TrackerState.VIOLATED
+        assert policy.satisfaction() == (0, 1)
+
+
+class TestGracefulDegradation:
+    def test_empty_schedule_behaves_like_pos(self):
+        policy = RffSchedulerPolicy(AbstractSchedule.empty(), seed=3)
+        result = run_program(two_writers, policy)
+        assert not result.truncated
+        assert policy.satisfaction() == (0, 0)
+
+    def test_conflicting_constraints_still_terminate(self):
+        w1, w2, reader = abstract_events()
+        alpha = AbstractSchedule.of(
+            Constraint(reader, w1),
+            Constraint(reader, w2),  # the reader cannot satisfy both
+        )
+        for seed in range(10):
+            result = run_program(two_writers, RffSchedulerPolicy(alpha, seed=seed))
+            assert not result.truncated
+
+    def test_bias_enum_values(self):
+        assert Bias.PRIORITIZE.value == 1
+        assert Bias.NEUTRAL.value == 0
+        assert Bias.DEPRIORITIZE.value == -1

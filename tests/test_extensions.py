@@ -1,0 +1,173 @@
+"""Extensions: extras suite, directed confirmation, parallel campaigns,
+coverage estimation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import confirm_races, predict_races
+from repro.bench.extras import extras_programs
+from repro.core import fuzz
+from repro.harness.campaign import Campaign, CampaignConfig
+from repro.harness.coverage import CoverageEstimate, chao1, estimate_coverage, good_turing_discovery
+from repro.harness.parallel import ParallelCampaign
+from repro.harness.tools import RffTool, pos_tool
+from repro.runtime import run_program, run_program_tso
+from repro.schedulers import PosPolicy, ReplayPolicy
+
+
+def _extra(name: str):
+    return next(p for p in extras_programs() if p.name == name)
+
+
+class TestExtrasSuite:
+    def test_six_curated_programs(self):
+        names = [p.name for p in extras_programs()]
+        assert len(names) == len(set(names)) == 6
+        assert all(name.startswith("extras/") for name in names)
+
+    def test_dekker_safe_under_sc(self):
+        prog = _extra("extras/dekker")
+        for seed in range(60):
+            result = run_program(prog, PosPolicy(seed), max_steps=prog.max_steps or 2000)
+            assert not result.crashed, f"Dekker violated under SC, seed {seed}"
+
+    def test_dekker_broken_under_tso(self):
+        prog = _extra("extras/dekker")
+        crashes = sum(
+            run_program_tso(prog, PosPolicy(s), max_steps=prog.max_steps or 2000).crashed
+            for s in range(200)
+        )
+        assert crashes > 0, "Dekker should break under TSO"
+
+    def test_peterson_safe_under_sc(self):
+        prog = _extra("extras/peterson")
+        for seed in range(60):
+            result = run_program(prog, PosPolicy(seed), max_steps=prog.max_steps or 1500)
+            assert not result.crashed
+
+    def test_ticket_lock_is_bug_free(self):
+        prog = _extra("extras/ticket_lock")
+        for seed in range(80):
+            result = run_program(prog, PosPolicy(seed), max_steps=prog.max_steps or 2000)
+            assert not result.crashed, f"ticket lock broke under seed {seed}"
+
+    def test_readers_writers_torn_read_findable(self):
+        report = fuzz(_extra("extras/readers_writers"), max_executions=400, seed=0,
+                      stop_on_first_crash=True)
+        assert report.found_bug
+
+    def test_aba_counter_findable(self):
+        report = fuzz(_extra("extras/aba_counter"), max_executions=400, seed=0,
+                      stop_on_first_crash=True)
+        assert report.found_bug
+
+    def test_barrier_desertion_always_deadlocks(self):
+        prog = _extra("extras/barrier_desertion")
+        for seed in range(10):
+            assert run_program(prog, PosPolicy(seed)).outcome == "deadlock"
+
+    def test_extras_not_in_evaluation_registry(self):
+        from repro import bench
+
+        assert not any(name.startswith("extras/") for name in bench.names())
+
+
+class TestDirectedConfirmation:
+    def test_predicts_races_on_racy_program(self, racy_counter):
+        races = predict_races(racy_counter, executions=10)
+        assert races
+
+    def test_no_predictions_on_clean_program(self, racefree):
+        assert predict_races(racefree, executions=10) == []
+
+    def test_confirms_account_race(self):
+        from repro import bench
+
+        results = confirm_races(bench.get("CS/account"), executions=8)
+        assert any(r.confirmed for r in results)
+
+    def test_confirmed_schedule_is_replayable(self):
+        from repro import bench
+
+        program = bench.get("CS/account")
+        confirmed = [r for r in confirm_races(program, executions=8) if r.confirmed]
+        assert confirmed
+        replay = run_program(program, ReplayPolicy(list(confirmed[0].crashing_concrete)))
+        assert replay.crashed
+
+    def test_reorder_race_confirmed_via_constraints(self):
+        from repro import bench
+
+        results = confirm_races(bench.get("CS/reorder_10"), executions=8)
+        hits = [r for r in results if r.confirmed]
+        assert hits, "directed search should confirm the reorder race"
+        assert any(r.crashing_schedule and len(r.crashing_schedule) > 0 for r in hits)
+
+    def test_unconfirmable_race_reported_as_such(self):
+        """A racy-but-benign program: races predicted, never confirmed."""
+        from repro.runtime import program
+
+        @program("t/benign_race")
+        def benign(t):
+            def writer(t, x):
+                yield t.write(x, 1)
+
+            x = t.var("x", 0)
+            yield t.spawn(writer, x)
+            yield t.read(x)  # racy but the program asserts nothing
+
+        results = confirm_races(benign, executions=8)
+        assert results
+        assert all(not r.confirmed for r in results)
+        assert all(r.schedules_tried > 0 for r in results)
+
+
+class TestParallelCampaign:
+    def test_matches_serial_results(self):
+        config = CampaignConfig(trials=2, budget=150, base_seed=99)
+        programs = ["CS/account", "Splash2/lu"]
+        serial = Campaign(config).run(
+            [RffTool(), pos_tool()], [__import__("repro").bench.get(n) for n in programs]
+        )
+        parallel = ParallelCampaign(config, processes=2).run(["RFF", "POS"], programs)
+        for tool in ("RFF", "POS"):
+            for name in programs:
+                assert parallel.schedules_to_bug(tool, name) == serial.schedules_to_bug(tool, name)
+
+    def test_unknown_tool_rejected(self):
+        campaign = ParallelCampaign(CampaignConfig(trials=1, budget=10))
+        with pytest.raises(KeyError):
+            campaign.run(["NotATool"], ["CS/account"])
+
+
+class TestCoverageEstimation:
+    def test_chao1_all_distinct(self):
+        # Every class seen once: estimate far exceeds observation.
+        assert chao1([1] * 10) == 10 + 10 * 9 / 2
+
+    def test_chao1_saturated(self):
+        # Every class seen many times: nothing left to discover.
+        assert chao1([50, 40, 30]) == 3
+
+    def test_good_turing_bounds(self):
+        assert good_turing_discovery([]) == 1.0
+        assert good_turing_discovery([10, 10]) == 0.0
+        assert 0 < good_turing_discovery([1, 1, 2]) < 1
+
+    def test_estimate_from_counter(self):
+        counter = Counter({"a": 5, "b": 1, "c": 1, "d": 2})
+        estimate = estimate_coverage(counter)
+        assert estimate.observed_classes == 4
+        assert estimate.executions == 9
+        assert estimate.estimated_classes >= 4
+        assert 0 <= estimate.saturation <= 1
+
+    def test_estimates_on_real_campaign(self, reorder3):
+        report = fuzz(reorder3, max_executions=150, seed=0)
+        estimate = estimate_coverage(Counter(report.signature_counts))
+        assert isinstance(estimate, CoverageEstimate)
+        assert estimate.observed_classes == report.unique_signatures
+        assert estimate.discovery_probability <= 1.0

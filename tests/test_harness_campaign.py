@@ -1,0 +1,172 @@
+"""Tool adapters, campaigns and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.harness.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.harness.reporting import (
+    appendix_b_table,
+    figure4_ascii,
+    figure4_series,
+    figure5_ascii,
+    rf_distribution_pos,
+    rf_distribution_rff,
+    significance_summary,
+)
+from repro.harness.tools import (
+    GenMcTool,
+    PeriodTool,
+    RffTool,
+    pct_tool,
+    pos_tool,
+    qlearning_tool,
+    random_tool,
+)
+
+from tests.conftest import make_reorder
+
+
+@pytest.fixture(scope="module")
+def mini_campaign():
+    programs = [bench.get("CS/account"), bench.get("CS/reorder_10"), bench.get("Splash2/lu")]
+    tools = [RffTool(), pos_tool(), PeriodTool(), GenMcTool()]
+    config = CampaignConfig(trials=3, budget=200, base_seed=7)
+    return Campaign(config).run(tools, programs)
+
+
+class TestToolAdapters:
+    def test_rff_tool_reports_schedules_to_bug(self):
+        result = RffTool().find_bug(bench.get("CS/account"), budget=300, seed=0)
+        assert result.found and result.schedules_to_bug >= 1
+        assert result.tool == "RFF"
+
+    def test_pos_tool_on_shallow_bug(self):
+        result = pos_tool().find_bug(bench.get("CS/account"), budget=300, seed=0)
+        assert result.found
+
+    def test_pos_tool_misses_reorder_100(self):
+        result = pos_tool().find_bug(bench.get("CS/reorder_100"), budget=50, seed=0)
+        assert not result.found
+        assert result.executions == 50
+
+    def test_pct_tool_named_by_depth(self):
+        assert pct_tool(3).name == "PCT3"
+        assert pct_tool(5).name == "PCT5"
+
+    def test_qlearning_tool_persists_learning(self):
+        result = qlearning_tool().find_bug(make_reorder(2), budget=500, seed=1)
+        assert result.tool == "QLearning RF"
+
+    def test_random_tool_runs(self):
+        result = random_tool().find_bug(bench.get("CS/account"), budget=200, seed=0)
+        assert result.executions <= 200
+
+    def test_period_tool_deterministic_flag(self):
+        assert PeriodTool().deterministic
+
+    def test_genmc_tool_errors_on_unsupported(self):
+        result = GenMcTool().find_bug(bench.get("CS/reorder_100"), budget=100, seed=0)
+        assert result.error is not None
+        assert not result.found
+
+    def test_genmc_tool_checks_supported(self):
+        result = GenMcTool().find_bug(bench.get("CS/account"), budget=20_000, seed=0)
+        assert result.found
+
+
+class TestCampaign:
+    def test_result_dimensions(self, mini_campaign):
+        assert set(mini_campaign.tools()) == {"RFF", "POS", "PERIOD", "GenMC"}
+        assert len(mini_campaign.programs()) == 3
+
+    def test_trials_replicated_for_deterministic_tools(self, mini_campaign):
+        assert len(mini_campaign.trials("PERIOD", "CS/account")) == 3
+        values = {r.schedules_to_bug for r in mini_campaign.trials("PERIOD", "CS/account")}
+        assert len(values) == 1  # the ± 0 rows
+
+    def test_randomized_tools_vary(self, mini_campaign):
+        rff = mini_campaign.schedules_to_bug("RFF", "CS/account")
+        assert len(rff) == 3
+
+    def test_rff_finds_reorder_pos_does_not(self, mini_campaign):
+        assert mini_campaign.cell("RFF", "CS/reorder_10").found == 3
+        assert mini_campaign.cell("POS", "CS/reorder_10").found == 0
+
+    def test_mean_bugs_found_ordering(self, mini_campaign):
+        assert mini_campaign.mean_bugs_found("RFF") >= mini_campaign.mean_bugs_found("POS")
+
+    def test_genmc_error_cell(self, mini_campaign):
+        assert mini_campaign.is_error("GenMC", "CS/reorder_10")
+        assert not mini_campaign.is_error("GenMC", "CS/account")
+
+    def test_cumulative_curve_monotone(self, mini_campaign):
+        curve = mini_campaign.cumulative_curve("RFF")
+        assert curve == sorted(curve)
+        schedules = [s for s, _ in curve]
+        assert schedules == sorted(schedules)
+
+    def test_one_shot_wins_counted(self, mini_campaign):
+        assert mini_campaign.one_shot_wins("RFF") >= 0
+
+    def test_budget_override(self):
+        config = CampaignConfig(trials=1, budget=100, budget_overrides={"CS/account": 5})
+        assert config.budget_for("CS/account") == 5
+        assert config.budget_for("CS/queue") == 100
+
+
+class TestReporting:
+    def test_appendix_b_table_renders_all_cells(self, mini_campaign):
+        table = appendix_b_table(mini_campaign)
+        assert "CS/account" in table
+        assert "Error" in table  # GenMC on reorder_10
+        assert "mean bugs found" in table
+
+    def test_figure4_series_per_tool(self, mini_campaign):
+        series = figure4_series(mini_campaign)
+        assert "RFF" in series and series["RFF"]
+
+    def test_figure4_ascii_renders(self, mini_campaign):
+        art = figure4_ascii(mini_campaign)
+        assert "cumulative bugs" in art
+        assert "RFF" in art
+
+    def test_significance_summary_shape(self, mini_campaign):
+        summary = significance_summary(mini_campaign, "RFF", "POS")
+        assert set(summary) == {"a_faster", "b_faster", "ties"}
+        assert sum(summary.values()) == len(mini_campaign.programs())
+
+
+class TestFigure5Distributions:
+    def test_pos_distribution(self):
+        prog = make_reorder(3)
+        dist = rf_distribution_pos(prog, executions=100, seed=0)
+        assert dist.executions == 100
+        assert sum(dist.counts) == 100
+        assert dist.counts == sorted(dist.counts, reverse=True)
+
+    def test_rff_distribution(self):
+        prog = make_reorder(3)
+        dist = rf_distribution_rff(prog, executions=100, seed=0)
+        assert sum(dist.counts) == 100
+
+    def test_gini_bounds(self):
+        prog = make_reorder(3)
+        dist = rf_distribution_pos(prog, executions=60, seed=1)
+        assert 0.0 <= dist.gini() <= 1.0
+
+    def test_figure5_ascii_renders(self):
+        prog = make_reorder(3)
+        dist = rf_distribution_pos(prog, executions=60, seed=2)
+        art = figure5_ascii(dist)
+        assert "rf signatures" in art
+        assert "#" in art
+
+    def test_feedback_flattens_exploration(self):
+        """RQ3 in miniature: RFF's power schedule yields a less skewed
+        rf-signature distribution than POS on the same budget."""
+        prog = bench.get("SafeStack")
+        pos = rf_distribution_pos(prog, executions=150, seed=3)
+        rff = rf_distribution_rff(prog, executions=150, seed=3)
+        assert rff.gini() <= pos.gini() + 0.05

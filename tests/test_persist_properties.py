@@ -1,0 +1,102 @@
+"""Property-based round-trip tests for the persistence layer."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent, Event
+from repro.core.trace import Trace
+from repro.harness.persist import (
+    event_from_dict,
+    event_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+_KINDS = ["r", "w", "rmw", "cas", "lock", "unlock", "spawn", "join", "hr", "hw", "flush"]
+_LOCATIONS = ["var:x", "var:y", "mutex:m", "heap:n#0.val", "thread:spawn"]
+
+
+@st.composite
+def events(draw, eid=None):
+    kind = draw(st.sampled_from(_KINDS))
+    return Event(
+        eid=eid if eid is not None else draw(st.integers(1, 10_000)),
+        tid=draw(st.integers(0, 50)),
+        kind=kind,
+        location=draw(st.sampled_from(_LOCATIONS)),
+        loc=f"f:{draw(st.integers(1, 500))}",
+        rf=draw(st.one_of(st.none(), st.integers(0, 10_000))),
+        value=draw(st.one_of(st.none(), st.integers(-5, 5), st.text(max_size=8), st.booleans())),
+        aux=draw(st.one_of(st.none(), st.integers(0, 50), st.tuples(st.integers(0, 9)))),
+    )
+
+
+@st.composite
+def traces(draw):
+    size = draw(st.integers(0, 12))
+    trace_events = [draw(events(eid=i + 1)) for i in range(size)]
+    outcome = draw(st.one_of(st.none(), st.sampled_from(["assertion", "deadlock", "use-after-free"])))
+    failure = draw(st.one_of(st.none(), st.text(max_size=20))) if outcome else None
+    return Trace(events=trace_events, outcome=outcome, failure=failure)
+
+
+@st.composite
+def schedules(draw):
+    constraints = []
+    for _ in range(draw(st.integers(0, 5))):
+        location = draw(st.sampled_from(["var:x", "var:y"]))
+        read = AbstractEvent("r", location, f"r:{draw(st.integers(1, 9))}")
+        write = draw(
+            st.one_of(
+                st.none(),
+                st.builds(lambda n, loc=location: AbstractEvent("w", loc, f"w:{n}"), st.integers(1, 9)),
+            )
+        )
+        constraints.append(Constraint(read, write, positive=draw(st.booleans())))
+    return AbstractSchedule(frozenset(constraints))
+
+
+class TestRoundTripProperties:
+    @given(events())
+    @settings(max_examples=150)
+    def test_event_round_trip(self, event):
+        again = event_from_dict(event_to_dict(event))
+        assert again.eid == event.eid
+        assert again.tid == event.tid
+        assert again.kind == event.kind
+        assert again.location == event.location
+        assert again.loc == event.loc
+        assert again.rf == event.rf
+        assert again.aux == event.aux
+
+    @given(events())
+    @settings(max_examples=100)
+    def test_event_dict_is_json_clean(self, event):
+        json.dumps(event_to_dict(event))
+
+    @given(traces())
+    @settings(max_examples=100)
+    def test_trace_round_trip_preserves_structure(self, trace):
+        again = trace_from_dict(trace_to_dict(trace))
+        assert len(again) == len(trace)
+        assert again.outcome == trace.outcome
+        assert [(e.eid, e.tid, e.kind) for e in again] == [
+            (e.eid, e.tid, e.kind) for e in trace
+        ]
+
+    @given(schedules())
+    @settings(max_examples=150)
+    def test_schedule_round_trip_exact(self, schedule):
+        assert schedule_from_dict(schedule_to_dict(schedule)) == schedule
+
+    @given(schedules())
+    @settings(max_examples=100)
+    def test_schedule_dict_is_json_clean(self, schedule):
+        json.dumps(schedule_to_dict(schedule))

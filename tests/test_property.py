@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on runtime and core invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent
+from repro.core.mutation import EventPool, ScheduleMutator
+from repro.harness.stats import logrank, summarize
+from repro.runtime import program, run_program
+from repro.schedulers import PosPolicy, RandomWalkPolicy, ReplayPolicy
+
+# ----------------------------------------------------------------------
+# Random-program generation
+# ----------------------------------------------------------------------
+#: One thread action: read / write / atomic add / locked increment / yield.
+_action = st.one_of(
+    st.tuples(st.just("r"), st.integers(0, 2)),
+    st.tuples(st.just("w"), st.integers(0, 2), st.integers(-3, 3)),
+    st.tuples(st.just("add"), st.integers(0, 2)),
+    st.tuples(st.just("crit"), st.integers(0, 2), st.integers(0, 1)),
+    st.tuples(st.just("pause")),
+)
+
+_thread = st.lists(_action, min_size=1, max_size=6)
+program_specs = st.lists(_thread, min_size=1, max_size=4)
+
+
+def build_program(spec):
+    """Materialise a random, deadlock-free concurrent program."""
+
+    def body(t, variables, mutexes, actions):
+        for action in actions:
+            if action[0] == "r":
+                yield t.read(variables[action[1]])
+            elif action[0] == "w":
+                yield t.write(variables[action[1]], action[2])
+            elif action[0] == "add":
+                yield t.add(variables[action[1]], 1)
+            elif action[0] == "crit":
+                mutex = mutexes[action[2]]
+                yield t.lock(mutex)
+                value = yield t.read(variables[action[1]])
+                yield t.write(variables[action[1]], value + 1)
+                yield t.unlock(mutex)
+            else:
+                yield t.pause()
+
+    @program("prop/random")
+    def main(t):
+        variables = [t.var(f"v{i}", 0) for i in range(3)]
+        mutexes = [t.mutex(f"m{i}") for i in range(2)]
+        handles = []
+        for actions in spec:
+            handle = yield t.spawn(body, variables, mutexes, actions)
+            handles.append(handle)
+        for handle in handles:
+            yield t.join(handle)
+
+    return main
+
+
+class TestRuntimeProperties:
+    @given(spec=program_specs, seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_execution_terminates_cleanly(self, spec, seed):
+        result = run_program(build_program(spec), RandomWalkPolicy(seed), max_steps=5000)
+        assert not result.truncated
+        assert result.outcome is None  # no assertions, no deadlock possible
+
+    @given(spec=program_specs, seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_event_ids_dense_and_rf_sound(self, spec, seed):
+        result = run_program(build_program(spec), RandomWalkPolicy(seed), max_steps=5000)
+        events = result.trace.events
+        assert [e.eid for e in events] == list(range(1, len(events) + 1))
+        for event in events:
+            if event.rf is None or event.rf == 0:
+                continue
+            writer = result.trace.event_by_id(event.rf)
+            assert writer.eid < event.eid, "rf edge must point backwards"
+            assert writer.location == event.location
+            assert writer.is_write
+
+    @given(spec=program_specs, seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_replay_reproduces_trace_exactly(self, spec, seed):
+        prog = build_program(spec)
+        original = run_program(prog, PosPolicy(seed), max_steps=5000)
+        replayed = run_program(prog, ReplayPolicy(original.schedule), max_steps=5000)
+        assert replayed.schedule == original.schedule
+        assert [str(e) for e in replayed.trace] == [str(e) for e in original.trace]
+
+    @given(spec=program_specs, seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_run(self, spec, seed):
+        prog = build_program(spec)
+        a = run_program(prog, PosPolicy(seed), max_steps=5000)
+        b = run_program(prog, PosPolicy(seed), max_steps=5000)
+        assert a.schedule == b.schedule
+
+    @given(spec=program_specs, seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_locked_increments_never_lost(self, spec, seed):
+        """Critical-section increments are atomic under every schedule."""
+        # Lock discipline: every critical section on variable v must use the
+        # same mutex (v % 2), otherwise this is the wronglock bug by design.
+        expected = [0, 0, 0]
+        for actions in spec:
+            for action in actions:
+                if action[0] == "crit":
+                    expected[action[1]] += 1
+        only_crit = [
+            [("crit", a[1], a[1] % 2) for a in actions if a[0] == "crit"] for actions in spec
+        ]
+        prog = build_program(only_crit)
+        result = run_program(prog, RandomWalkPolicy(seed), max_steps=5000)
+        finals = {}
+        for event in result.trace:
+            if event.kind == "w" and event.location.startswith("var:"):
+                finals[event.location] = event.value
+        for index, total in enumerate(expected):
+            if total:
+                assert finals.get(f"var:v{index}", 0) == total
+
+
+# ----------------------------------------------------------------------
+# Abstract schedule / mutation properties
+# ----------------------------------------------------------------------
+_locations = st.sampled_from(["var:x", "var:y"])
+
+
+@st.composite
+def constraints(draw):
+    location = draw(_locations)
+    read = AbstractEvent("r", location, f"f:{draw(st.integers(1, 5))}")
+    if draw(st.booleans()):
+        write = None
+    else:
+        write = AbstractEvent("w", location, f"g:{draw(st.integers(1, 5))}")
+    return Constraint(read, write, positive=draw(st.booleans()))
+
+
+class TestConstraintProperties:
+    @given(constraints())
+    @settings(max_examples=100)
+    def test_negation_is_involution(self, constraint):
+        assert constraint.negated().negated() == constraint
+
+    @given(constraints())
+    @settings(max_examples=100)
+    def test_negation_flips_sign_only(self, constraint):
+        negated = constraint.negated()
+        assert negated.read == constraint.read
+        assert negated.write == constraint.write
+        assert negated.positive != constraint.positive
+
+    @given(st.lists(constraints(), max_size=6))
+    @settings(max_examples=100)
+    def test_schedule_set_semantics(self, items):
+        alpha = AbstractSchedule(frozenset(items))
+        assert len(alpha) == len(set(items))
+        for constraint in items:
+            assert len(alpha.insert(constraint)) == len(alpha)
+            assert constraint not in alpha.delete(constraint).constraints
+
+    @given(st.lists(constraints(), min_size=1, max_size=6), st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_mutation_respects_cap(self, items, seed):
+        alpha = AbstractSchedule(frozenset(items[:4]))
+        pool = EventPool()
+        # Seed the pool with the events appearing in the constraints.
+        from repro.core.events import Event
+        from repro.core.trace import Trace
+
+        events = []
+        eid = 1
+        for constraint in items:
+            if constraint.write is not None:
+                events.append(
+                    Event(eid, 0, "w", constraint.write.location, constraint.write.loc)
+                )
+                eid += 1
+            events.append(
+                Event(eid, 1, "r", constraint.read.location, constraint.read.loc, rf=0)
+            )
+            eid += 1
+        pool.observe(Trace(events=events))
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=4)
+        mutant = alpha
+        for _ in range(20):
+            mutant = mutator.mutate(mutant, pool)
+            assert len(mutant) <= 4
+
+
+# ----------------------------------------------------------------------
+# Statistics properties
+# ----------------------------------------------------------------------
+_censored_samples = st.lists(
+    st.one_of(st.none(), st.integers(1, 99)), min_size=1, max_size=20
+)
+
+
+class TestStatsProperties:
+    @given(_censored_samples, _censored_samples)
+    @settings(max_examples=100)
+    def test_logrank_p_value_in_unit_interval(self, a, b):
+        result = logrank(a, b, budget_a=100)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.statistic >= 0.0
+
+    @given(_censored_samples)
+    @settings(max_examples=100)
+    def test_logrank_self_comparison_not_significant(self, a):
+        result = logrank(a, a, budget_a=100)
+        assert not result.significant(alpha=0.05)
+
+    @given(_censored_samples)
+    @settings(max_examples=100)
+    def test_summarize_consistency(self, samples):
+        cell = summarize(samples)
+        assert cell.trials == len(samples)
+        assert cell.found == sum(1 for s in samples if s is not None)
+        if cell.found:
+            observed = [s for s in samples if s is not None]
+            assert min(observed) <= cell.mean <= max(observed)
+        else:
+            assert cell.render() == "-"

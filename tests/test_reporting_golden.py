@@ -1,0 +1,91 @@
+"""Golden-structure tests for the report renderers.
+
+These pin the *format* of the rendered artifacts (column layout, cell
+syntax, legend lines) without pinning volatile numbers, so accidental
+renderer regressions show up as diffs here rather than in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.harness.campaign import CampaignConfig, CampaignResult
+from repro.harness.reporting import (
+    APPENDIX_B_ORDER,
+    appendix_b_table,
+    figure4_ascii,
+    figure5_ascii,
+)
+from repro.harness.reporting import RfDistribution
+from repro.harness.tools import BugSearchResult
+
+
+def _result(tool, program, trial, schedules):
+    return BugSearchResult(
+        tool=tool,
+        program=program,
+        trial=trial,
+        found=schedules is not None,
+        schedules_to_bug=schedules,
+        executions=schedules or 100,
+        outcome="assertion" if schedules else None,
+    )
+
+
+def _campaign():
+    campaign = CampaignResult(config=CampaignConfig(trials=2, budget=100))
+    campaign.results[("RFF", "CS/alpha")] = [_result("RFF", "CS/alpha", 0, 3), _result("RFF", "CS/alpha", 1, 5)]
+    campaign.results[("POS", "CS/alpha")] = [_result("POS", "CS/alpha", 0, None), _result("POS", "CS/alpha", 1, 9)]
+    campaign.results[("GenMC", "CS/alpha")] = [
+        BugSearchResult("GenMC", "CS/alpha", 0, False, None, 0, error="unsupported"),
+        BugSearchResult("GenMC", "CS/alpha", 1, False, None, 0, error="unsupported"),
+    ]
+    campaign.results[("RFF", "CS/beta")] = [_result("RFF", "CS/beta", 0, None), _result("RFF", "CS/beta", 1, None)]
+    campaign.results[("POS", "CS/beta")] = [_result("POS", "CS/beta", 0, 7), _result("POS", "CS/beta", 1, 7)]
+    campaign.results[("GenMC", "CS/beta")] = [_result("GenMC", "CS/beta", 0, 4), _result("GenMC", "CS/beta", 1, 4)]
+    return campaign
+
+
+class TestAppendixTableFormat:
+    def test_cell_syntax(self):
+        table = appendix_b_table(_campaign())
+        assert re.search(r"CS/alpha.*4 ± 1", table)      # mean ± std
+        assert re.search(r"CS/alpha.*9 ± 0\*", table)     # starred partial find
+        assert re.search(r"CS/alpha.*Error", table)       # error cell
+        assert re.search(r"CS/beta\s+-", table) or " -" in table  # dash cell
+
+    def test_column_order_follows_paper(self):
+        table = appendix_b_table(_campaign())
+        header = table.splitlines()[0]
+        present = [t for t in APPENDIX_B_ORDER if t in header]
+        assert present == ["RFF", "POS", "GenMC"]
+
+    def test_summary_row_present(self):
+        table = appendix_b_table(_campaign())
+        assert table.splitlines()[-1].startswith("mean bugs found")
+
+    def test_rows_sorted_by_program(self):
+        table = appendix_b_table(_campaign())
+        alpha_line = next(i for i, l in enumerate(table.splitlines()) if l.startswith("CS/alpha"))
+        beta_line = next(i for i, l in enumerate(table.splitlines()) if l.startswith("CS/beta"))
+        assert alpha_line < beta_line
+
+
+class TestFigureFormats:
+    def test_figure4_has_legend_and_axis(self):
+        art = figure4_ascii(_campaign())
+        assert art.splitlines()[0].startswith("cumulative bugs")
+        assert any(line.strip().startswith("+") for line in art.splitlines())
+        assert any("= RFF" in line for line in art.splitlines())
+
+    def test_figure5_header_fields(self):
+        dist = RfDistribution(tool="POS", executions=100, counts=[50, 30, 15, 5])
+        art = figure5_ascii(dist)
+        header = art.splitlines()[0]
+        assert "POS" in header and "4 rf signatures" in header
+        assert "50.0%" in header  # top share
+        assert "log-scale" in art
+
+    def test_figure5_empty_distribution(self):
+        dist = RfDistribution(tool="RFF", executions=0, counts=[])
+        assert "no executions" in figure5_ascii(dist)

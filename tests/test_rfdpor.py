@@ -1,0 +1,130 @@
+"""The race-reversal rf-DPOR explorer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.algos.rfdpor import (
+    RfDporExplorer,
+    concrete_rf_signature,
+    dependency_clocks,
+    immediate_races,
+    reversal_seed,
+)
+from repro.runtime import program, run_program
+from repro.schedulers import PosPolicy
+
+from tests.conftest import make_reorder
+
+
+class TestDependencyClocks:
+    def test_program_order_is_respected(self, sequential):
+        trace = run_program(sequential, PosPolicy(0)).trace
+        clocks = dependency_clocks(trace)
+        for earlier, later in zip(trace.events, trace.events[1:]):
+            assert clocks[earlier.eid].leq(clocks[later.eid])
+
+    def test_conflicting_accesses_ordered(self, racy_counter):
+        trace = run_program(racy_counter, PosPolicy(1)).trace
+        clocks = dependency_clocks(trace)
+        accesses = [e for e in trace.events if e.location == "var:x"]
+        for first, second in zip(accesses, accesses[1:]):
+            if first.is_write or second.is_write:
+                assert clocks[first.eid].leq(clocks[second.eid])
+
+    def test_independent_threads_unordered(self):
+        @program("t/independent")
+        def prog(t):
+            def worker(t, x):
+                yield t.write(x, 1)
+
+            a = t.var("a", 0)
+            b = t.var("b", 0)
+            h1 = yield t.spawn(worker, a)
+            h2 = yield t.spawn(worker, b)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        trace = run_program(prog, PosPolicy(0)).trace
+        clocks = dependency_clocks(trace)
+        write_a = next(e for e in trace if e.location == "var:a")
+        write_b = next(e for e in trace if e.location == "var:b")
+        assert not clocks[write_a.eid].leq(clocks[write_b.eid])
+        assert not clocks[write_b.eid].leq(clocks[write_a.eid])
+
+
+class TestRaceEnumeration:
+    def test_racy_counter_has_races(self, racy_counter):
+        trace = run_program(racy_counter, PosPolicy(0)).trace
+        races = immediate_races(trace)
+        assert any(a.location == "var:x" for a, _ in races)
+
+    def test_race_pairs_conflict(self, reorder3):
+        trace = run_program(reorder3, PosPolicy(0)).trace
+        for first, second in immediate_races(trace):
+            assert first.location == second.location
+            assert first.tid != second.tid
+            assert first.is_write or second.is_write
+            assert first.eid < second.eid
+
+    def test_reversal_seed_shape(self, racy_counter):
+        trace = run_program(racy_counter, PosPolicy(0)).trace
+        clocks = dependency_clocks(trace)
+        races = immediate_races(trace)
+        first, second = races[0]
+        seed = reversal_seed(trace, clocks, first, second)
+        assert seed[-1] == second.tid
+        assert len(seed) < len(trace)
+
+
+class TestConcreteSignature:
+    def test_differs_across_rf_classes(self, reorder3):
+        signatures = {
+            concrete_rf_signature(run_program(reorder3, PosPolicy(s)).trace) for s in range(30)
+        }
+        assert len(signatures) >= 3
+
+    def test_stable_for_identical_runs(self, reorder3):
+        a = concrete_rf_signature(run_program(reorder3, PosPolicy(5)).trace)
+        b = concrete_rf_signature(run_program(reorder3, PosPolicy(5)).trace)
+        assert a == b
+
+
+class TestExplorer:
+    @pytest.mark.parametrize(
+        "name",
+        ["CS/account", "CS/deadlock01", "CS/queue", "CS/twostage", "CS/lazy01", "CS/wronglock"],
+    )
+    def test_finds_bugs_in_mc_supported_programs(self, name):
+        report = RfDporExplorer(bench.get(name), max_executions=4000).run()
+        assert report.found_bug, name
+        assert report.first_bug_at <= 30, f"{name}: class {report.first_bug_at}"
+
+    def test_finds_reorder_family_in_few_classes(self):
+        for n in (2, 3, 5):
+            report = RfDporExplorer(make_reorder(n), max_executions=4000).run()
+            assert report.found_bug
+            assert report.first_bug_at <= 10
+
+    def test_bug_free_program_verified_complete(self, racefree):
+        report = RfDporExplorer(racefree, max_executions=8000, stop_on_first_bug=False).run()
+        assert not report.found_bug
+        assert report.complete
+
+    def test_deterministic(self, reorder3):
+        a = RfDporExplorer(reorder3, max_executions=2000).run()
+        b = RfDporExplorer(reorder3, max_executions=2000).run()
+        assert (a.first_bug_at, a.executions, a.rf_classes) == (
+            b.first_bug_at,
+            b.executions,
+            b.rf_classes,
+        )
+
+    def test_classes_never_exceed_executions(self, reorder3):
+        report = RfDporExplorer(reorder3, max_executions=500, stop_on_first_bug=False).run()
+        assert report.rf_classes <= report.executions
+
+    def test_budget_respected(self):
+        report = RfDporExplorer(make_reorder(6), max_executions=7, stop_on_first_bug=False).run()
+        assert report.executions <= 7

@@ -1,0 +1,132 @@
+"""Unit tests for the shared-state objects of the runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.errors import DoubleFree, ProgramError, UseAfterFree
+from repro.runtime.objects import Barrier, CondVar, Heap, Mutex, Semaphore, SharedVar
+
+
+class TestSharedVar:
+    def test_initial_value(self):
+        var = SharedVar("x", 42)
+        assert var.value == 42
+
+    def test_initial_writer_is_pseudo_event_zero(self):
+        assert SharedVar("x").last_writer == 0
+
+    def test_location_is_namespaced(self):
+        assert SharedVar("x").location == "var:x"
+
+    def test_default_init_is_zero(self):
+        assert SharedVar("x").value == 0
+
+
+class TestMutex:
+    def test_starts_unowned(self):
+        mutex = Mutex("m")
+        assert not mutex.held
+        assert mutex.owner is None
+
+    def test_held_after_assigning_owner(self):
+        mutex = Mutex("m")
+        mutex.owner = 3
+        assert mutex.held
+
+    def test_location_is_namespaced(self):
+        assert Mutex("m").location == "mutex:m"
+
+    def test_error_checking_flag_defaults_true(self):
+        assert Mutex("m").error_checking is True
+        assert Mutex("m", error_checking=False).error_checking is False
+
+
+class TestCondVar:
+    def test_starts_with_no_waiters(self):
+        assert CondVar("c").waiters == []
+
+    def test_location_is_namespaced(self):
+        assert CondVar("c").location == "cond:c"
+
+
+class TestSemaphore:
+    def test_initial_count(self):
+        assert Semaphore("s", 3).count == 3
+
+    def test_negative_init_rejected(self):
+        with pytest.raises(ProgramError):
+            Semaphore("s", -1)
+
+    def test_location_is_namespaced(self):
+        assert Semaphore("s").location == "sem:s"
+
+
+class TestBarrier:
+    def test_parties_must_be_positive(self):
+        with pytest.raises(ProgramError):
+            Barrier("b", 0)
+
+    def test_starts_with_no_arrivals(self):
+        barrier = Barrier("b", 2)
+        assert barrier.arrived == []
+        assert barrier.generation == 0
+
+    def test_location_is_namespaced(self):
+        assert Barrier("b", 2).location == "barrier:b"
+
+
+class TestHeap:
+    def test_malloc_names_by_site_and_order(self):
+        heap = Heap()
+        first = heap.malloc("node")
+        second = heap.malloc("node")
+        other = heap.malloc("leaf")
+        assert first.name == "node#0"
+        assert second.name == "node#1"
+        assert other.name == "leaf#0"
+
+    def test_fields_initialised_from_malloc(self):
+        heap = Heap()
+        obj = heap.malloc("node", {"val": 7})
+        assert obj.read_field("val") == 7
+
+    def test_missing_field_reads_none(self):
+        obj = Heap().malloc("node")
+        assert obj.read_field("whatever") is None
+
+    def test_write_then_read_field(self):
+        obj = Heap().malloc("node")
+        obj.write_field("x", 5)
+        assert obj.read_field("x") == 5
+
+    def test_free_marks_object_dead(self):
+        heap = Heap()
+        obj = heap.malloc("node")
+        heap.free(obj)
+        assert obj.freed
+
+    def test_double_free_raises(self):
+        heap = Heap()
+        obj = heap.malloc("node")
+        heap.free(obj)
+        with pytest.raises(DoubleFree):
+            heap.free(obj)
+
+    def test_read_after_free_raises(self):
+        heap = Heap()
+        obj = heap.malloc("node", {"val": 1})
+        heap.free(obj)
+        with pytest.raises(UseAfterFree):
+            obj.read_field("val")
+
+    def test_write_after_free_raises(self):
+        heap = Heap()
+        obj = heap.malloc("node")
+        heap.free(obj)
+        with pytest.raises(UseAfterFree):
+            obj.write_field("val", 2)
+
+    def test_field_location_naming(self):
+        obj = Heap().malloc("node")
+        assert obj.location_of("val") == "heap:node#0.val"

