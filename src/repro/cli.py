@@ -143,9 +143,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    programs = [bench.get(n) for n in (args.programs or bench.names())]
-    tools = [_make_tool(n) for n in args.tools] if args.tools else paper_tools()
+    program_names = list(args.programs or bench.names())
+    tool_names = list(args.tools) if args.tools else [t.name for t in paper_tools()]
     config = CampaignConfig(trials=args.trials, budget=args.budget, base_seed=args.seed)
+    use_engine = (
+        args.parallel is not None
+        or args.telemetry
+        or args.checkpoint
+        or args.timeout is not None
+    )
+    if use_engine:
+        from repro.harness.parallel import ParallelCampaign
+        from repro.harness.reporting import throughput_summary
+        from repro.harness.telemetry import JsonlSink, MultiSink, TelemetryAggregator
+
+        if args.checkpoint and not args.resume:
+            # Without --resume an existing checkpoint must not silently be
+            # reused — start the campaign from scratch.
+            import pathlib
+
+            pathlib.Path(args.checkpoint).unlink(missing_ok=True)
+        aggregator = TelemetryAggregator()
+        sinks = [aggregator]
+        if args.telemetry:
+            sinks.append(JsonlSink(args.telemetry))
+        sink = MultiSink(sinks)
+        campaign = ParallelCampaign(
+            config,
+            processes=args.parallel,
+            cell_timeout=args.timeout,
+            max_retries=args.retries,
+            checkpoint=args.checkpoint,
+            telemetry=sink,
+        )
+        try:
+            result = campaign.run(tool_names, program_names)
+        finally:
+            sink.close()
+        print(appendix_b_table(result))
+        print()
+        print(figure4_ascii(result))
+        print()
+        print(throughput_summary(aggregator))
+        return 0
+    programs = [bench.get(n) for n in program_names]
+    tools = [_make_tool(n) for n in tool_names]
     progress = None
     if args.verbose:
         progress = lambda tool, program, trial: print(  # noqa: E731
@@ -248,6 +290,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--programs", nargs="*")
     p_campaign.add_argument("--tools", nargs="*")
     p_campaign.add_argument("--verbose", action="store_true")
+    p_campaign.add_argument("--parallel", type=int, metavar="N",
+                            help="fault-tolerant engine with N worker processes "
+                                 "(0 = in-process serial engine)")
+    p_campaign.add_argument("--telemetry", metavar="FILE",
+                            help="write structured campaign telemetry (JSONL) to FILE")
+    p_campaign.add_argument("--checkpoint", metavar="FILE",
+                            help="persist completed cells to FILE as the campaign runs")
+    p_campaign.add_argument("--resume", action="store_true",
+                            help="resume completed cells from an existing --checkpoint file")
+    p_campaign.add_argument("--timeout", type=float, metavar="SECONDS",
+                            help="kill and retry any cell exceeding this wall time")
+    p_campaign.add_argument("--retries", type=int, default=2,
+                            help="extra attempts per crashed/timed-out cell (default 2)")
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_dpor = sub.add_parser("dpor", help="race-reversal rf-DPOR exploration")

@@ -130,6 +130,10 @@ class RffFuzzer:
         self.report = FuzzReport(program_name=program.name)
         #: rf signature of the most recent execution (stage cut-off input).
         self._last_signature: frozenset | None = None
+        # Lazy import: repro.harness imports this module at package init.
+        from repro.harness.telemetry import GLOBAL_COUNTERS
+
+        self._counters = GLOBAL_COUNTERS
 
     # ------------------------------------------------------------------
     def _max_steps(self) -> int:
@@ -214,6 +218,7 @@ class RffFuzzer:
         self.pool.observe(result.trace)
         crashed = result.crashed
         if crashed:
+            self._counters.crashes += 1
             parent.crashes += 1
             self.report.crashes.append(
                 CrashRecord(
@@ -226,6 +231,7 @@ class RffFuzzer:
             )
         admit = crashed or observation.interesting
         if admit and self.config.use_feedback:
+            self._counters.corpus_adds += 1
             satisfied, total = self._satisfaction(policy)
             self.corpus.add(
                 CorpusEntry(

@@ -8,7 +8,7 @@ sized so a full campaign runs on one laptop core; everything scales through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.harness.stats import SummaryCell, summarize
 from repro.harness.tools import BugSearchResult, TestingTool
@@ -118,7 +118,11 @@ class Campaign:
                     if progress is not None:
                         progress(tool.name, program.name, trial)
                     seed = self.config.base_seed + 7919 * trial
-                    results.append(tool.find_bug(program, budget, seed))
+                    result = tool.find_bug(program, budget, seed)
+                    # Tools record the seed in the trial field by default;
+                    # stamp the trial index so serial, parallel and resumed
+                    # campaigns produce bit-identical results.
+                    results.append(replace(result, trial=trial))
                 if tool.deterministic and self.config.trials > 1:
                     # Replicate the single deterministic result so per-trial
                     # aggregates stay comparable across tools.

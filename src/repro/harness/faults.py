@@ -1,0 +1,73 @@
+"""Fault-injection hooks for exercising the parallel campaign engine.
+
+The engine's fault-tolerance claims — bounded retries, per-cell timeouts,
+crash isolation, checkpoint/resume — are only testable if worker failure
+can be provoked on demand.  A :class:`~repro.harness.parallel.CellSpec`
+may carry an importable ``fault_hook`` reference (``"module:qualname"``);
+the worker entrypoint resolves and calls it with the spec *before* running
+the cell, so a hook can crash or hang the worker process at will.
+
+The built-in :func:`crash_once` hook is configured through environment
+variables (inherited by both fork and spawn workers) and fires exactly once
+per campaign via an atomically created state file, which lets a test assert
+that the retry of the faulted cell then succeeds and the final result is
+bit-identical to an undisturbed run:
+
+* ``RFF_FAULT_CELL``  — target cell as ``"tool|program|trial"``;
+* ``RFF_FAULT_STATE`` — path of the once-only state file (must not exist);
+* ``RFF_FAULT_MODE``  — ``"crash"`` (default: hard ``os._exit``) or
+  ``"hang"`` (sleep until the engine's cell timeout kills the worker);
+* ``RFF_FAULT_HANG_SECONDS`` — sleep length for ``"hang"`` (default 3600).
+
+Hooks run inside worker processes.  In the engine's degraded serial mode
+they run in the campaign process itself, so tests combining degradation
+with ``crash`` faults would kill the whole campaign — don't.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+ENV_TARGET = "RFF_FAULT_CELL"
+ENV_STATE = "RFF_FAULT_STATE"
+ENV_MODE = "RFF_FAULT_MODE"
+ENV_HANG_SECONDS = "RFF_FAULT_HANG_SECONDS"
+
+#: Exit code of a crash-injected worker (distinctive in worker_exit records).
+CRASH_EXIT_CODE = 17
+
+#: Importable reference for CellSpec.fault_hook / ParallelCampaign.fault_hook.
+CRASH_ONCE_REF = "repro.harness.faults:crash_once"
+
+
+def cell_key(tool: str, program: str, trial: int) -> str:
+    """The ``RFF_FAULT_CELL`` encoding of one campaign cell."""
+    return f"{tool}|{program}|{trial}"
+
+
+def crash_once(spec) -> None:
+    """Fail the *first* attempt of the targeted cell, then never again.
+
+    The once-only guarantee comes from ``O_CREAT | O_EXCL`` on the state
+    file: exactly one worker attempt wins the creation race and dies; every
+    later attempt (the engine's retry, or a resumed campaign) sees the file
+    and proceeds normally.
+    """
+    target = os.environ.get(ENV_TARGET)
+    state = os.environ.get(ENV_STATE)
+    if not target or not state:
+        return
+    if cell_key(spec.tool, spec.program, spec.trial) != target:
+        return
+    try:
+        fd = os.open(state, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    if os.environ.get(ENV_MODE, "crash") == "hang":
+        time.sleep(float(os.environ.get(ENV_HANG_SECONDS, "3600")))
+        return
+    # A hard exit models a segfaulting/oom-killed worker: no exception, no
+    # result message, just a dead process the engine must notice and retry.
+    os._exit(CRASH_EXIT_CODE)

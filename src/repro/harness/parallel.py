@@ -1,27 +1,151 @@
-"""Multiprocess campaign execution.
+"""Fault-tolerant, observable multiprocess campaign execution.
 
 The paper runs its experiments with GNU Parallel over up to 50 cores
 (Appendix A.2); this module provides the same scale-out for our campaigns:
-the (tool, program, trial) cells of a campaign are independent, so they
-map cleanly onto a process pool.  Results are bit-identical to the serial
+the (tool, program, trial) cells of a campaign are independent, so they map
+cleanly onto worker processes.  Results are bit-identical to the serial
 :class:`~repro.harness.campaign.Campaign` — each cell derives its seed the
 same way — so parallelism is purely a wall-clock optimisation.
+
+Unlike a bare process pool, the engine survives its workers:
+
+* **crash isolation** — a worker that dies (segfault model: hard exit, OOM
+  kill, SIGKILL) costs one cell attempt, not the campaign; the cell is
+  retried on a fresh process up to ``max_retries`` times and, if it keeps
+  failing, recorded as a structured error result (``isolate_failures``)
+  instead of aborting everything;
+* **per-cell timeouts** — a hung worker is killed at ``cell_timeout``
+  seconds and handled like a crash;
+* **graceful degradation** — if worker processes cannot be started at all,
+  the engine falls back to in-process serial execution of the remaining
+  cells rather than failing;
+* **checkpoint/resume** — with ``checkpoint`` set, every completed cell is
+  appended to a JSONL file; re-running the same campaign against that file
+  skips completed cells and still produces a bit-identical
+  :class:`~repro.harness.campaign.CampaignResult`;
+* **telemetry** — every lifecycle step (cell start/end/retry/error, worker
+  start/exit, degradation, checkpoints) is emitted into a
+  :class:`~repro.harness.telemetry.TelemetrySink`.
+
+Tool factories cross the process boundary *by importable reference*
+(``"module:qualname"`` strings carried in the cell spec), never through a
+module-global registry alone — so custom tools registered with
+:func:`register_tool` work under the ``spawn`` start method too, where
+workers do not inherit the parent's registrations.
 """
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing as mp
-from dataclasses import dataclass
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Callable
 
 from repro.harness.campaign import CampaignConfig, CampaignResult
-from repro.harness.tools import BugSearchResult
+from repro.harness.persist import append_jsonl, read_jsonl, result_from_dict, result_to_dict
+from repro.harness.telemetry import GLOBAL_COUNTERS, TelemetrySink
+from repro.harness.tools import BugSearchResult, TestingTool
 
-#: (tool spec, program name, trial index, seed, budget)
-_Cell = tuple[str, str, int, int, int]
+CHECKPOINT_VERSION = 1
 
-#: Tool factory registry used inside workers (tools themselves are not
-#: picklable across spawn boundaries; names are).
-_TOOL_FACTORIES = {}
+
+class CampaignError(RuntimeError):
+    """A campaign cell failed and ``isolate_failures`` is off, or a
+    checkpoint file does not match the campaign being run."""
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (tool, program, trial) campaign cell, fully self-describing.
+
+    ``factory_ref`` is an importable ``"module:qualname"`` reference to the
+    tool factory, resolved *inside* the worker — the spec is all a freshly
+    spawned process needs, with no reliance on inherited module globals.
+    """
+
+    tool: str
+    program: str
+    trial: int
+    seed: int
+    budget: int
+    factory_ref: str
+    #: Optional importable fault-injection hook called with the spec before
+    #: the cell runs (see repro.harness.faults).
+    fault_hook: str | None = None
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.tool, self.program, self.trial)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What a worker ships back: the result plus its measured cost."""
+
+    result: BugSearchResult
+    wall_time: float
+    counters: dict[str, int]
+
+
+# ----------------------------------------------------------------------
+# Tool factory registry (parent side) + importable references (worker side)
+# ----------------------------------------------------------------------
+_TOOL_FACTORIES: dict[str, Callable[[], TestingTool]] = {}
+
+
+def resolve_ref(ref: str) -> Any:
+    """Resolve an importable ``"module:qualname"`` reference."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"malformed importable reference {ref!r}; expected 'module:qualname'")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def factory_ref(factory: Callable[[], TestingTool]) -> str:
+    """The spawn-safe importable reference of a tool factory.
+
+    Raises ``ValueError`` for factories a fresh worker process could not
+    re-import (lambdas, closures, instance methods): those used to *silently*
+    fall back to default tools in spawned workers — now they fail loudly at
+    registration time.
+    """
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", None)
+    if not module or not qualname:
+        raise ValueError(
+            f"tool factory {factory!r} is not an importable module-level callable; "
+            "parallel workers resolve factories by 'module:qualname' reference"
+        )
+    ref = f"{module}:{qualname}"
+    try:
+        resolved = resolve_ref(ref)
+    except (ImportError, AttributeError, ValueError) as exc:
+        raise ValueError(f"tool factory reference {ref!r} does not resolve: {exc}") from exc
+    if resolved is not factory:
+        raise ValueError(
+            f"tool factory reference {ref!r} resolves to a different object; "
+            "register a module-level function or class"
+        )
+    return ref
+
+
+def register_tool(name: str, factory: Callable[[], TestingTool]) -> None:
+    """Register a custom tool factory for parallel campaigns.
+
+    The factory must be a module-level callable (validated eagerly) so that
+    worker processes under any start method — including ``spawn``, which
+    inherits nothing — can re-import it from its cell spec reference.
+    """
+    factory_ref(factory)  # validate now, not inside a worker
+    _TOOL_FACTORIES[name] = factory
 
 
 def _register_default_factories() -> None:
@@ -29,78 +153,484 @@ def _register_default_factories() -> None:
         GenMcTool,
         PeriodTool,
         RffTool,
+        muzz_tool,
         pct_tool,
         pos_tool,
         qlearning_tool,
         random_tool,
     )
 
-    _TOOL_FACTORIES.update(
-        {
-            "RFF": RffTool,
-            "POS": pos_tool,
-            "PCT3": pct_tool,
-            "PERIOD": PeriodTool,
-            "GenMC": GenMcTool,
-            "QLearning RF": qlearning_tool,
-            "Random": random_tool,
-        }
-    )
+    _TOOL_FACTORIES.setdefault("RFF", RffTool)
+    _TOOL_FACTORIES.setdefault("POS", pos_tool)
+    _TOOL_FACTORIES.setdefault("PCT3", pct_tool)
+    _TOOL_FACTORIES.setdefault("PERIOD", PeriodTool)
+    _TOOL_FACTORIES.setdefault("GenMC", GenMcTool)
+    _TOOL_FACTORIES.setdefault("QLearning RF", qlearning_tool)
+    _TOOL_FACTORIES.setdefault("Random", random_tool)
+    _TOOL_FACTORIES.setdefault("MUZZ-like", muzz_tool)
 
 
-def _run_cell(cell: _Cell) -> BugSearchResult:
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _run_cell(spec: CellSpec) -> CellOutcome:
+    """Execute one campaign cell; shared by workers and serial fallback."""
     from repro import bench
 
-    if not _TOOL_FACTORIES:
-        _register_default_factories()
-    tool_name, program_name, trial, seed, budget = cell
-    tool = _TOOL_FACTORIES[tool_name]()
-    program = bench.get(program_name)
-    result = tool.find_bug(program, budget, seed)
+    if spec.fault_hook:
+        resolve_ref(spec.fault_hook)(spec)
+    tool = resolve_ref(spec.factory_ref)()
+    program = bench.get(spec.program)
+    before = GLOBAL_COUNTERS.snapshot()
+    start = time.perf_counter()
+    result = tool.find_bug(program, spec.budget, spec.seed)
+    wall_time = time.perf_counter() - start
+    counters = GLOBAL_COUNTERS.delta(before).as_dict()
     # Stamp the trial index (the tool records the seed there by default).
-    return BugSearchResult(
-        tool=result.tool,
-        program=result.program,
-        trial=trial,
-        found=result.found,
-        schedules_to_bug=result.schedules_to_bug,
-        executions=result.executions,
-        outcome=result.outcome,
-        error=result.error,
+    return CellOutcome(
+        result=replace(result, trial=spec.trial), wall_time=wall_time, counters=counters
     )
+
+
+def _worker_main(conn, spec: CellSpec) -> None:
+    """Worker entrypoint: run the cell, ship ('ok', outcome) or ('error', msg).
+
+    An exception here is deterministic program/tool misbehaviour, reported
+    as a structured message; a worker that dies without sending anything
+    (hard crash, kill) is detected parent-side by the closed pipe.
+    """
+    try:
+        payload = ("ok", _run_cell(spec))
+    except BaseException as exc:  # noqa: BLE001 - must not leak workers
+        payload = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
 
 
 @dataclass
+class _Worker:
+    """Parent-side handle of one in-flight cell attempt."""
+
+    spec: CellSpec
+    attempt: int
+    proc: Any
+    conn: Any
+    started: float
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
 class ParallelCampaign:
-    """A process-pool campaign over named tools and benchmark programs."""
+    """A fault-tolerant process-per-cell campaign over named tools/programs.
+
+    ``processes=0`` runs every cell in-process (the degraded-pool code path,
+    also useful for debugging); ``processes=None`` uses the CPU count.
+    ``max_retries`` bounds *extra* attempts after a worker crash or timeout;
+    in-worker Python exceptions are deterministic and are not retried.
+    """
 
     config: CampaignConfig
     processes: int | None = None
+    #: Seconds one cell attempt may run before its worker is killed.
+    cell_timeout: float | None = None
+    #: Extra attempts (fresh worker process each) after crash/timeout.
+    max_retries: int = 2
+    #: Record exhausted cells as structured error results instead of raising.
+    isolate_failures: bool = True
+    #: JSONL checkpoint path; existing compatible checkpoints are resumed.
+    checkpoint: str | Path | None = None
+    telemetry: TelemetrySink = field(default_factory=TelemetrySink)
+    #: Multiprocessing start method (None = fork where available, else spawn).
+    start_method: str | None = None
+    #: Importable fault-injection hook propagated into every cell spec.
+    fault_hook: str | None = None
 
+    # -- public API -----------------------------------------------------
     def run(self, tool_names: list[str], program_names: list[str]) -> CampaignResult:
-        """Run all campaign cells on a fork pool; identical to serial runs."""
+        """Run all campaign cells; the result is bit-identical to serial runs."""
         _register_default_factories()
-        deterministic = {"PERIOD", "GenMC"}
-        cells: list[_Cell] = []
+        sink = self.telemetry
+        specs, deterministic = self._build_specs(tool_names, program_names)
+        self._total_cells = len(specs)
+        completed = self._load_checkpoint(specs, tool_names, program_names)
+        pending = [spec for spec in specs if spec.key not in completed]
+        start = time.perf_counter()
+        sink.emit(
+            "campaign_start",
+            tools=list(tool_names),
+            programs=list(program_names),
+            trials=self.config.trials,
+            total_cells=len(specs),
+            resumed_cells=len(completed),
+            processes=self._process_count(),
+        )
+        stats = {"retries": 0, "failed": 0, "executions": 0}
+        recorder = self._make_recorder(completed, stats, sink)
+        if self._process_count() == 0:
+            for spec in pending:
+                self._run_serial_cell(spec, 1, recorder, stats, sink)
+        else:
+            self._execute_parallel(pending, recorder, stats, sink)
+        wall_time = time.perf_counter() - start
+        sink.emit(
+            "campaign_end",
+            wall_time=wall_time,
+            cells=len(completed),
+            failed_cells=stats["failed"],
+            retries=stats["retries"],
+            executions=stats["executions"],
+            schedules_per_sec=stats["executions"] / wall_time if wall_time > 0 else 0.0,
+        )
+        return self._assemble(tool_names, program_names, deterministic, completed)
+
+    # -- cell spec construction ----------------------------------------
+    def _build_specs(
+        self, tool_names: list[str], program_names: list[str]
+    ) -> tuple[list[CellSpec], set[str]]:
+        deterministic: set[str] = set()
+        specs: list[CellSpec] = []
         for tool_name in tool_names:
             if tool_name not in _TOOL_FACTORIES:
                 raise KeyError(f"unknown tool {tool_name!r}; known: {sorted(_TOOL_FACTORIES)}")
+            factory = _TOOL_FACTORIES[tool_name]
+            ref = factory_ref(factory)
+            if factory().deterministic:
+                deterministic.add(tool_name)
             trials = 1 if tool_name in deterministic else self.config.trials
             for program_name in program_names:
                 budget = self.config.budget_for(program_name)
                 for trial in range(trials):
                     seed = self.config.base_seed + 7919 * trial
-                    cells.append((tool_name, program_name, trial, seed, budget))
-        # Fork keeps the already-imported registry warm; campaign cells are
-        # CPU-bound pure functions, so chunking is left to the pool.
-        context = mp.get_context("fork")
-        with context.Pool(processes=self.processes) as pool:
-            results = pool.map(_run_cell, cells)
+                    specs.append(
+                        CellSpec(
+                            tool=tool_name,
+                            program=program_name,
+                            trial=trial,
+                            seed=seed,
+                            budget=budget,
+                            factory_ref=ref,
+                            fault_hook=self.fault_hook,
+                        )
+                    )
+        return specs, deterministic
+
+    def _process_count(self) -> int:
+        if self.processes is None:
+            return os.cpu_count() or 1
+        return self.processes
+
+    # -- checkpointing --------------------------------------------------
+    def _checkpoint_header(self, tool_names: list[str], program_names: list[str]) -> dict[str, Any]:
+        return {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "base_seed": self.config.base_seed,
+            "budget": self.config.budget,
+            "budget_overrides": dict(sorted(self.config.budget_overrides.items())),
+            "trials": self.config.trials,
+            "tools": list(tool_names),
+            "programs": list(program_names),
+        }
+
+    def _load_checkpoint(
+        self, specs: list[CellSpec], tool_names: list[str], program_names: list[str]
+    ) -> dict[tuple[str, str, int], BugSearchResult]:
+        """Resume completed cells from the checkpoint file (if any)."""
+        if self.checkpoint is None:
+            return {}
+        header = self._checkpoint_header(tool_names, program_names)
+        records = read_jsonl(self.checkpoint)
+        if not records:
+            append_jsonl(header, self.checkpoint)
+            return {}
+        if records[0] != header:
+            raise CampaignError(
+                f"checkpoint {self.checkpoint} belongs to a different campaign: "
+                f"{records[0]!r} != {header!r}"
+            )
+        valid_keys = {spec.key for spec in specs}
+        completed: dict[tuple[str, str, int], BugSearchResult] = {}
+        for record in records[1:]:
+            result = result_from_dict(record["result"])
+            key = (result.tool, result.program, result.trial)
+            if key in valid_keys:
+                completed[key] = result
+        return completed
+
+    # -- result recording ----------------------------------------------
+    def _make_recorder(
+        self,
+        completed: dict[tuple[str, str, int], BugSearchResult],
+        stats: dict[str, int],
+        sink: TelemetrySink,
+    ) -> Callable[[CellSpec, int, CellOutcome | None, BugSearchResult], None]:
+        def record(
+            spec: CellSpec, attempt: int, outcome: CellOutcome | None, result: BugSearchResult
+        ) -> None:
+            completed[spec.key] = result
+            if outcome is not None:
+                stats["executions"] += outcome.result.executions
+                # The executor-level counter delta also counts executions;
+                # the result's own count is the authoritative cell figure.
+                counters = {k: v for k, v in outcome.counters.items() if k != "executions"}
+                sink.emit(
+                    "cell_end",
+                    tool=spec.tool,
+                    program=spec.program,
+                    trial=spec.trial,
+                    attempt=attempt,
+                    wall_time=outcome.wall_time,
+                    executions=outcome.result.executions,
+                    schedules_per_sec=(
+                        outcome.result.executions / outcome.wall_time
+                        if outcome.wall_time > 0
+                        else 0.0
+                    ),
+                    found=outcome.result.found,
+                    **counters,
+                )
+            if self.checkpoint is not None:
+                append_jsonl({"result": result_to_dict(result)}, self.checkpoint)
+                sink.emit(
+                    "checkpoint",
+                    path=str(self.checkpoint),
+                    completed=len(completed),
+                    total=self._total_cells,
+                )
+
+        return record
+
+    def _fail(
+        self,
+        spec: CellSpec,
+        attempts: int,
+        kind: str,
+        detail: str,
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+    ) -> None:
+        stats["failed"] += 1
+        sink.emit(
+            "cell_error",
+            tool=spec.tool,
+            program=spec.program,
+            trial=spec.trial,
+            attempts=attempts,
+            kind=kind,
+            detail=detail,
+        )
+        if not self.isolate_failures:
+            raise CampaignError(
+                f"cell {spec.tool}/{spec.program} trial {spec.trial} failed ({kind}): {detail}"
+            )
+        recorder(
+            spec,
+            attempts,
+            None,
+            BugSearchResult(
+                tool=spec.tool,
+                program=spec.program,
+                trial=spec.trial,
+                found=False,
+                schedules_to_bug=None,
+                executions=0,
+                outcome=None,
+                error=f"{kind} after {attempts} attempt(s): {detail}",
+            ),
+        )
+
+    # -- serial fallback -----------------------------------------------
+    def _run_serial_cell(
+        self, spec: CellSpec, attempt: int, recorder, stats: dict[str, int], sink: TelemetrySink
+    ) -> None:
+        sink.emit(
+            "cell_start", tool=spec.tool, program=spec.program, trial=spec.trial, attempt=attempt
+        )
+        try:
+            outcome = _run_cell(spec)
+        except Exception as exc:  # deterministic failure: no retry in-process
+            self._fail(spec, attempt, "error", f"{type(exc).__name__}: {exc}", recorder, stats, sink)
+            return
+        recorder(spec, attempt, outcome, outcome.result)
+
+    # -- parallel execution --------------------------------------------
+    def _launch(self, context, spec: CellSpec, attempt: int, sink: TelemetrySink) -> _Worker | None:
+        """Start one worker process; None when the pool is dead (degrade)."""
+        sink.emit(
+            "cell_start", tool=spec.tool, program=spec.program, trial=spec.trial, attempt=attempt
+        )
+        try:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            proc = context.Process(target=_worker_main, args=(child_conn, spec), daemon=True)
+            proc.start()
+        except OSError:
+            return None
+        child_conn.close()
+        sink.emit(
+            "worker_start", pid=proc.pid, tool=spec.tool, program=spec.program, trial=spec.trial
+        )
+        return _Worker(
+            spec=spec, attempt=attempt, proc=proc, conn=parent_conn, started=time.perf_counter()
+        )
+
+    @staticmethod
+    def _kill(worker: _Worker) -> None:
+        worker.proc.terminate()
+        worker.proc.join(timeout=5)
+        if worker.proc.is_alive():  # pragma: no cover - terminate() suffices
+            worker.proc.kill()
+            worker.proc.join()
+        worker.conn.close()
+
+    def _retry_or_fail(
+        self,
+        worker: _Worker,
+        kind: str,
+        detail: str,
+        queue: deque,
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+    ) -> None:
+        if worker.attempt <= self.max_retries:
+            stats["retries"] += 1
+            sink.emit(
+                "cell_retry",
+                tool=worker.spec.tool,
+                program=worker.spec.program,
+                trial=worker.spec.trial,
+                attempt=worker.attempt,
+                kind=kind,
+            )
+            queue.append((worker.spec, worker.attempt + 1))
+        else:
+            self._fail(worker.spec, worker.attempt, kind, detail, recorder, stats, sink)
+
+    def _reap(
+        self,
+        worker: _Worker,
+        queue: deque,
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+    ) -> None:
+        """Handle a worker whose pipe became readable (result or death)."""
+        try:
+            kind, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.proc.join()
+            worker.conn.close()
+            exitcode = worker.proc.exitcode
+            sink.emit("worker_exit", pid=worker.proc.pid, exitcode=exitcode, kind="crash")
+            self._retry_or_fail(
+                worker,
+                "crash",
+                f"worker died with exit code {exitcode}",
+                queue,
+                recorder,
+                stats,
+                sink,
+            )
+            return
+        worker.conn.close()
+        worker.proc.join()
+        sink.emit("worker_exit", pid=worker.proc.pid, exitcode=worker.proc.exitcode, kind="ok")
+        if kind == "ok":
+            recorder(worker.spec, worker.attempt, payload, payload.result)
+        else:
+            # A deterministic in-worker exception; retrying cannot help.
+            self._fail(worker.spec, worker.attempt, "error", payload, recorder, stats, sink)
+
+    def _execute_parallel(
+        self,
+        specs: list[CellSpec],
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+    ) -> None:
+        context = mp.get_context(self.start_method or _default_start_method())
+        capacity = max(1, self._process_count())
+        queue: deque[tuple[CellSpec, int]] = deque((spec, 1) for spec in specs)
+        active: dict[Any, _Worker] = {}
+        degraded = False
+        try:
+            while queue or active:
+                while not degraded and queue and len(active) < capacity:
+                    spec, attempt = queue.popleft()
+                    worker = self._launch(context, spec, attempt, sink)
+                    if worker is None:
+                        degraded = True
+                        sink.emit(
+                            "pool_degraded",
+                            reason="worker process could not be started; "
+                            "running remaining cells serially in-process",
+                        )
+                        queue.appendleft((spec, attempt))
+                        break
+                    active[worker.conn] = worker
+                if not active:
+                    if degraded and queue:
+                        spec, attempt = queue.popleft()
+                        self._run_serial_cell(spec, attempt, recorder, stats, sink)
+                    continue
+                timeout = None
+                if self.cell_timeout is not None:
+                    now = time.perf_counter()
+                    nearest = min(w.started + self.cell_timeout for w in active.values())
+                    timeout = max(0.0, nearest - now)
+                for conn in mp_connection.wait(list(active), timeout=timeout):
+                    self._reap(active.pop(conn), queue, recorder, stats, sink)
+                if self.cell_timeout is not None:
+                    now = time.perf_counter()
+                    for conn, worker in list(active.items()):
+                        if now - worker.started >= self.cell_timeout:
+                            del active[conn]
+                            self._kill(worker)
+                            sink.emit(
+                                "worker_exit",
+                                pid=worker.proc.pid,
+                                exitcode=worker.proc.exitcode,
+                                kind="timeout",
+                            )
+                            self._retry_or_fail(
+                                worker,
+                                "timeout",
+                                f"cell exceeded {self.cell_timeout:g}s timeout",
+                                queue,
+                                recorder,
+                                stats,
+                                sink,
+                            )
+        finally:
+            for worker in active.values():  # abort path: leak no workers
+                self._kill(worker)
+
+    # -- assembly -------------------------------------------------------
+    def _assemble(
+        self,
+        tool_names: list[str],
+        program_names: list[str],
+        deterministic: set[str],
+        completed: dict[tuple[str, str, int], BugSearchResult],
+    ) -> CampaignResult:
         outcome = CampaignResult(config=self.config)
-        for result in results:
-            outcome.results.setdefault((result.tool, result.program), []).append(result)
-        for (tool_name, program_name), cell_results in outcome.results.items():
-            cell_results.sort(key=lambda r: r.trial)
-            if tool_name in deterministic and self.config.trials > 1:
-                outcome.results[(tool_name, program_name)] = cell_results * self.config.trials
+        for tool_name in tool_names:
+            trials = 1 if tool_name in deterministic else self.config.trials
+            for program_name in program_names:
+                cell_results = [
+                    completed[(tool_name, program_name, trial)] for trial in range(trials)
+                ]
+                if tool_name in deterministic and self.config.trials > 1:
+                    # Replicate the single deterministic result so per-trial
+                    # aggregates stay comparable across tools.
+                    cell_results = cell_results * self.config.trials
+                outcome.results[(tool_name, program_name)] = cell_results
         return outcome
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"

@@ -160,6 +160,21 @@ def result_to_dict(result: BugSearchResult) -> dict[str, Any]:
     }
 
 
+def result_from_dict(data: dict[str, Any]) -> BugSearchResult:
+    """Exact inverse of :func:`result_to_dict` — resumed campaign cells must
+    compare equal to freshly computed ones."""
+    return BugSearchResult(
+        tool=data["tool"],
+        program=data["program"],
+        trial=data["trial"],
+        found=data["found"],
+        schedules_to_bug=data["schedules_to_bug"],
+        executions=data["executions"],
+        outcome=data.get("outcome"),
+        error=data.get("error"),
+    )
+
+
 # ----------------------------------------------------------------------
 # File-level helpers
 # ----------------------------------------------------------------------
@@ -189,3 +204,39 @@ def load_crash(path: str | Path) -> tuple[str, CrashRecord]:
     """Load one persisted crash; returns (program name, crash record)."""
     data = load_json(path)
     return data["program"], crash_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Append-only JSONL (campaign checkpoints, telemetry-adjacent records)
+# ----------------------------------------------------------------------
+def append_jsonl(record: dict[str, Any], path: str | Path) -> Path:
+    """Append one JSON object as a line to ``path`` (created on demand).
+
+    Append-and-flush per record makes the file crash-safe in the sense a
+    checkpoint needs: a campaign killed mid-run leaves every *completed*
+    record intact, and at worst one torn trailing line, which readers skip.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+    return target
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read a JSONL file, skipping blank and torn (truncated) lines."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    records = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            # A torn final line from a killed writer; everything before it
+            # was flushed whole, so just stop at the tear.
+            break
+    return records

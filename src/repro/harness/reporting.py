@@ -154,6 +154,37 @@ def figure5_ascii(distribution: RfDistribution, bars: int = 40, height: int = 10
 
 
 # ----------------------------------------------------------------------
+# Campaign throughput (telemetry summary)
+# ----------------------------------------------------------------------
+def throughput_summary(aggregator, slowest: int = 3) -> str:
+    """Render a campaign's telemetry aggregate as a plain-text block.
+
+    ``aggregator`` is a :class:`~repro.harness.telemetry.TelemetryAggregator`
+    attached to the campaign's sink; the block mirrors what the paper's
+    Appendix A.2 infrastructure would report per 50-core run.
+    """
+    summary = aggregator.summary()
+    lines = [
+        "Campaign throughput",
+        f"  cells:            {summary['cells']} completed, "
+        f"{summary['failed_cells']} failed, {summary['retries']} retried",
+        f"  schedules:        {summary['executions']:,} "
+        f"({summary['schedules_per_sec']:,.1f}/sec)",
+        f"  executor steps:   {summary['steps']:,}",
+        f"  wall time:        {summary['wall_time']:.2f}s",
+        f"  worker restarts:  {summary['worker_restarts']}",
+    ]
+    slow = aggregator.slowest_cells(slowest)
+    if slow:
+        cells = ", ".join(
+            f"{tool}/{program} trial {trial} ({wall:.2f}s)"
+            for (tool, program, trial), wall in slow
+        )
+        lines.append(f"  slowest cells:    {cells}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Pairwise significance (Sections 5.2/5.3 claims)
 # ----------------------------------------------------------------------
 def significance_summary(

@@ -36,6 +36,20 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 #: schedules (e.g. CAS retry loops the policy keeps re-scheduling).
 DEFAULT_MAX_STEPS = 20_000
 
+#: Lazily bound process-global telemetry counters.  The import must be
+#: deferred: ``repro.harness`` imports this module at package init, so a
+#: top-level import of ``repro.harness.telemetry`` would be circular.
+_COUNTERS = None
+
+
+def _global_counters():
+    global _COUNTERS
+    if _COUNTERS is None:
+        from repro.harness.telemetry import GLOBAL_COUNTERS
+
+        _COUNTERS = GLOBAL_COUNTERS
+    return _COUNTERS
+
 
 @dataclass(frozen=True)
 class Candidate:
@@ -202,6 +216,9 @@ class Executor:
         result = ExecutionResult(
             trace=self.trace, schedule=self.schedule, steps=self.step_index, truncated=truncated
         )
+        counters = _global_counters()
+        counters.executions += 1
+        counters.steps += self.step_index
         self.policy.end(result, self)
         return result
 

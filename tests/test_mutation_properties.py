@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for schedule mutation and minimization.
+
+Complements tests/test_property.py: these properties pin down the mutation
+operators' *well-formedness* contract — every mutant is a valid abstract
+schedule built only from observed events, within the constraint cap — and
+minimization's contract that its output is a subset of the input that still
+reproduces the crash verdict.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import AbstractSchedule, Constraint
+from repro.core.events import AbstractEvent, Event
+from repro.core.fuzzer import fuzz
+from repro.core.minimize import crash_rate, minimize_schedule
+from repro.core.mutation import MUTATION_OPERATORS, EventPool, ScheduleMutator
+from repro.core.trace import Trace
+
+from tests.conftest import make_reorder
+
+_locations = st.sampled_from(["var:x", "var:y", "var:z"])
+#: Read/write-capable kinds beyond plain r/w, so well-formedness is checked
+#: for rmw-style events too (they are both read- and write-capable).
+_read_kinds = st.sampled_from(["r", "rmw", "cas"])
+_write_kinds = st.sampled_from(["w", "rmw", "cas"])
+
+
+@st.composite
+def pools(draw):
+    """An EventPool populated through observe(), as the fuzzer would."""
+    events = []
+    eid = 1
+    for _ in range(draw(st.integers(1, 12))):
+        location = draw(_locations)
+        if draw(st.booleans()):
+            kind = draw(_read_kinds)
+            rf = 0
+        else:
+            kind = draw(_write_kinds)
+            rf = 0 if kind in ("rmw", "cas") else None
+        events.append(
+            Event(eid, draw(st.integers(0, 2)), kind, location, f"f:{draw(st.integers(1, 6))}", rf=rf)
+        )
+        eid += 1
+    pool = EventPool()
+    pool.observe(Trace(events=events))
+    return pool
+
+
+@st.composite
+def schedules_from(draw, pool):
+    """A well-formed schedule drawn from a pool (may be empty)."""
+    alpha = AbstractSchedule.empty()
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    for _ in range(draw(st.integers(0, 4))):
+        constraint = pool.random_constraint(rng)
+        if constraint is not None:
+            alpha = alpha.insert(constraint)
+    return alpha
+
+
+@st.composite
+def pool_and_schedule(draw):
+    pool = draw(pools())
+    return pool, draw(schedules_from(pool))
+
+
+def _assert_well_formed(constraint: Constraint) -> None:
+    """Re-run the Constraint invariants explicitly (not just __post_init__)."""
+    assert constraint.read.is_read
+    if constraint.write is not None:
+        assert constraint.write.is_write
+        assert constraint.write.location == constraint.read.location
+
+
+class TestMutationProperties:
+    @given(pool_and_schedule(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_mutants_are_well_formed_and_pool_closed(self, pool_alpha, seed):
+        pool, alpha = pool_alpha
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=5)
+        mutant = alpha
+        for _ in range(10):
+            mutant = mutator.mutate(mutant, pool)
+            for constraint in mutant:
+                _assert_well_formed(constraint)
+                # Pool closure: every constraint — inherited, negated or
+                # freshly inserted — is drawn from observed events; the
+                # write side may also be the initial pseudo-write (None).
+                assert constraint.read in pool.reads.get(constraint.location, [])
+                assert constraint.write is None or constraint.write in pool.writes.get(
+                    constraint.location, []
+                )
+
+    @given(pool_and_schedule(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_single_mutation_changes_size_by_at_most_one(self, pool_alpha, seed):
+        pool, alpha = pool_alpha
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=8)
+        mutant = mutator.mutate(alpha, pool)
+        assert abs(len(mutant) - len(alpha)) <= 1
+
+    @given(pool_and_schedule(), st.integers(0, 10_000), st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_mutation_chain_respects_cap(self, pool_alpha, seed, cap):
+        pool, alpha = pool_alpha
+        assume(len(alpha) <= cap)
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=cap)
+        mutant = alpha
+        for _ in range(15):
+            mutant = mutator.mutate(mutant, pool)
+            assert len(mutant) <= cap
+
+    @given(pool_and_schedule(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_operator_counts_track_calls(self, pool_alpha, seed):
+        pool, alpha = pool_alpha
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=5)
+        for _ in range(7):
+            alpha = mutator.mutate(alpha, pool)
+        assert sum(mutator.operator_counts.values()) == 7
+        assert set(mutator.operator_counts) == set(MUTATION_OPERATORS)
+
+    @given(pool_and_schedule(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_mutation_is_deterministic_given_rng_seed(self, pool_alpha, seed):
+        pool, alpha = pool_alpha
+        a = ScheduleMutator(random.Random(seed), max_constraints=5).mutate(alpha, pool)
+        b = ScheduleMutator(random.Random(seed), max_constraints=5).mutate(alpha, pool)
+        assert a == b
+
+
+class TestSpliceProperties:
+    @given(pool_and_schedule(), pool_and_schedule(), st.integers(0, 10_000), st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_child_is_bounded_subset_of_parents(self, pa, pb, seed, cap):
+        _, alpha = pa
+        _, beta = pb
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=cap)
+        child = mutator.splice(alpha, beta)
+        union = alpha.constraints | beta.constraints
+        assert child.constraints <= union
+        assert len(child) <= cap
+        if union:
+            assert len(child) >= 1
+        else:
+            assert child == AbstractSchedule.empty()
+
+    @given(pool_and_schedule(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_splice_is_deterministic_given_rng_seed(self, pool_alpha, seed):
+        pool, alpha = pool_alpha
+        other = AbstractSchedule(frozenset(c.negated() for c in alpha))
+        a = ScheduleMutator(random.Random(seed)).splice(alpha, other)
+        b = ScheduleMutator(random.Random(seed)).splice(alpha, other)
+        assert a == b
+
+
+class TestEventPoolProperties:
+    @given(pools(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_random_constraint_is_well_formed_and_pool_drawn(self, pool, seed):
+        rng = random.Random(seed)
+        constraint = pool.random_constraint(rng)
+        if constraint is None:
+            assert not pool.constrainable_locations
+            return
+        _assert_well_formed(constraint)
+        assert constraint.read in pool.reads[constraint.location]
+        assert constraint.write is None or constraint.write in pool.writes[constraint.location]
+
+    @given(pools(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_positive_bias_extremes(self, pool, seed):
+        rng = random.Random(seed)
+        always = pool.random_constraint(rng, positive_bias=1.0)
+        never = pool.random_constraint(rng, positive_bias=0.0)
+        if always is not None:
+            assert always.positive
+        if never is not None:
+            assert not never.positive
+
+    @given(pools())
+    @settings(max_examples=100, deadline=None)
+    def test_observe_is_idempotent(self, pool):
+        size = len(pool)
+        reads = {loc: list(events) for loc, events in pool.reads.items()}
+        trace = Trace(
+            events=[
+                Event(i + 1, 0, e.kind, e.location, e.loc)
+                for i, e in enumerate(pool._seen)
+            ]
+        )
+        assert pool.observe(trace) == 0
+        assert len(pool) == size
+        assert pool.reads == reads
+
+
+class TestMinimizationProperties:
+    @given(st.integers(2, 4), st.integers(0, 5))
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+    )
+    def test_minimized_schedule_is_subset_and_reproduces(self, width, seed):
+        """For any crash whose schedule reproduces reliably on the probe
+        seeds, minimization (a) only removes constraints and (b) yields a
+        schedule that still reproduces the crash verdict on those seeds.
+
+        (Reproduction on *other* seeds is not part of the contract — the
+        proactive scheduler is randomized around the constraints.)"""
+        program = make_reorder(width)
+        report = fuzz(program, max_executions=300, seed=seed, stop_on_first_crash=True)
+        assume(report.crashes)
+        alpha = report.crashes[0].abstract_schedule
+        assume(crash_rate(program, alpha, probes=4, base_seed=0) >= 0.6)
+        outcome = minimize_schedule(program, alpha, probes=4, threshold=0.6, base_seed=0)
+        assert outcome.minimized.constraints <= outcome.original.constraints
+        assert outcome.removed == len(outcome.original) - len(outcome.minimized)
+        assert crash_rate(program, outcome.minimized, probes=4, base_seed=0) >= 0.6
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_minimization_is_deterministic(self, seed):
+        program = make_reorder(3)
+        report = fuzz(program, max_executions=300, seed=seed, stop_on_first_crash=True)
+        assume(report.crashes)
+        alpha = report.crashes[0].abstract_schedule
+        a = minimize_schedule(program, alpha, probes=3)
+        b = minimize_schedule(program, alpha, probes=3)
+        assert a.minimized == b.minimized
+        assert a.executions == b.executions

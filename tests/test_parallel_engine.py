@@ -1,0 +1,258 @@
+"""Fault-tolerant parallel campaign engine: determinism, faults, resume.
+
+The engine's contract is that parallelism, worker failure and
+checkpoint/resume are all invisible in the final result: a
+``ParallelCampaign`` — crashed workers, killed workers, hung workers,
+degraded pools, resumed checkpoints and all — produces a
+``CampaignResult`` bit-identical (full dataclass equality) to the serial
+``Campaign`` over the same grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.harness import faults
+from repro.harness.campaign import Campaign, CampaignConfig
+from repro.harness.parallel import (
+    CampaignError,
+    ParallelCampaign,
+    _TOOL_FACTORIES,
+    register_tool,
+)
+from repro.harness.persist import read_jsonl
+from repro.harness.telemetry import TelemetryAggregator
+from repro.harness.tools import (
+    PerExecutionPolicyTool,
+    PeriodTool,
+    RffTool,
+    pos_tool,
+)
+from repro.schedulers.random_walk import RandomWalkPolicy
+
+TOOLS = ["RFF", "POS", "PERIOD"]
+PROGRAMS = ["CS/account", "Splash2/lu"]
+CONFIG = CampaignConfig(trials=2, budget=120, base_seed=7)
+
+
+def _serial_result():
+    return Campaign(CONFIG).run(
+        [RffTool(), pos_tool(), PeriodTool()], [bench.get(p) for p in PROGRAMS]
+    )
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return _serial_result()
+
+
+@pytest.fixture
+def fault_env(tmp_path, monkeypatch):
+    """Arm the crash_once hook against one cell; returns the re-arm helper."""
+
+    def arm(tool: str, program: str, trial: int, mode: str = "crash", state: str = "fired"):
+        monkeypatch.setenv(faults.ENV_TARGET, faults.cell_key(tool, program, trial))
+        monkeypatch.setenv(faults.ENV_STATE, str(tmp_path / state))
+        monkeypatch.setenv(faults.ENV_MODE, mode)
+        monkeypatch.setenv(faults.ENV_HANG_SECONDS, "3600")
+
+    return arm
+
+
+class TestDeterminism:
+    def test_parallel_bit_identical_to_serial(self, serial):
+        parallel = ParallelCampaign(CONFIG, processes=2).run(TOOLS, PROGRAMS)
+        assert parallel == serial
+
+    def test_serial_engine_mode_bit_identical(self, serial):
+        assert ParallelCampaign(CONFIG, processes=0).run(TOOLS, PROGRAMS) == serial
+
+    def test_spawn_start_method_bit_identical(self, serial):
+        parallel = ParallelCampaign(CONFIG, processes=2, start_method="spawn").run(
+            TOOLS, PROGRAMS
+        )
+        assert parallel == serial
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(KeyError):
+            ParallelCampaign(CONFIG).run(["NotATool"], PROGRAMS)
+
+
+class TestFaultTolerance:
+    def test_worker_crash_retried_bit_identical(self, serial, fault_env):
+        """A hard-killed worker (os._exit, the SIGKILL model) costs one
+        attempt; the retried campaign result is bit-identical."""
+        fault_env("RFF", "CS/account", 1, mode="crash")
+        telemetry = TelemetryAggregator()
+        parallel = ParallelCampaign(
+            CONFIG, processes=2, telemetry=telemetry, fault_hook=faults.CRASH_ONCE_REF
+        ).run(TOOLS, PROGRAMS)
+        assert parallel == serial
+        assert telemetry.retries == 1
+        assert telemetry.worker_restarts == 1
+        crash_exits = [r for r in telemetry.of_type("worker_exit") if r["kind"] == "crash"]
+        assert crash_exits and crash_exits[0]["exitcode"] == faults.CRASH_EXIT_CODE
+
+    def test_hung_worker_timed_out_and_retried(self, serial, fault_env):
+        fault_env("POS", "Splash2/lu", 0, mode="hang")
+        telemetry = TelemetryAggregator()
+        parallel = ParallelCampaign(
+            CONFIG,
+            processes=2,
+            cell_timeout=2.0,
+            telemetry=telemetry,
+            fault_hook=faults.CRASH_ONCE_REF,
+        ).run(TOOLS, PROGRAMS)
+        assert parallel == serial
+        timeouts = [r for r in telemetry.of_type("worker_exit") if r["kind"] == "timeout"]
+        assert len(timeouts) == 1
+        assert telemetry.retries == 1
+
+    def test_exhausted_retries_isolated_as_structured_error(self, fault_env, tmp_path):
+        """With zero retries a crashing cell becomes an error result and the
+        rest of the campaign completes untouched."""
+        fault_env("RFF", "CS/account", 0, mode="crash")
+        telemetry = TelemetryAggregator()
+        parallel = ParallelCampaign(
+            CONFIG,
+            processes=2,
+            max_retries=0,
+            telemetry=telemetry,
+            fault_hook=faults.CRASH_ONCE_REF,
+        ).run(TOOLS, PROGRAMS)
+        failed = parallel.trials("RFF", "CS/account")[0]
+        assert failed.error is not None and "crash" in failed.error
+        assert not failed.found and failed.executions == 0
+        assert telemetry.failed_cells == 1
+        # every other cell ran normally
+        assert parallel.trials("POS", "CS/account")[0].error is None
+        assert parallel.trials("RFF", "Splash2/lu")[0].error is None
+
+    def test_isolate_failures_off_raises(self, fault_env):
+        fault_env("RFF", "CS/account", 0, mode="crash")
+        campaign = ParallelCampaign(
+            CONFIG,
+            processes=2,
+            max_retries=0,
+            isolate_failures=False,
+            fault_hook=faults.CRASH_ONCE_REF,
+        )
+        with pytest.raises(CampaignError, match="crash"):
+            campaign.run(TOOLS, PROGRAMS)
+
+    def test_dead_pool_degrades_to_serial(self, serial, monkeypatch):
+        """When worker processes cannot start at all, the engine runs the
+        cells in-process instead of failing the campaign."""
+        monkeypatch.setattr(
+            ParallelCampaign, "_launch", lambda self, ctx, spec, attempt, sink: None
+        )
+        telemetry = TelemetryAggregator()
+        parallel = ParallelCampaign(CONFIG, processes=2, telemetry=telemetry).run(
+            TOOLS, PROGRAMS
+        )
+        assert parallel == serial
+        assert telemetry.of_type("pool_degraded")
+
+
+class TestCheckpointResume:
+    def test_resume_from_truncated_checkpoint_bit_identical(self, serial, tmp_path):
+        """The acceptance scenario: a campaign killed mid-run resumes from
+        its checkpoint and yields a bit-identical result."""
+        checkpoint = tmp_path / "campaign.jsonl"
+        first = ParallelCampaign(CONFIG, processes=2, checkpoint=checkpoint).run(
+            TOOLS, PROGRAMS
+        )
+        assert first == serial
+        # Simulate a SIGKILL mid-campaign: keep the header and the first
+        # three completed cells, tear the last line in half.
+        lines = checkpoint.read_text().splitlines()
+        assert len(lines) > 5
+        checkpoint.write_text("\n".join(lines[:4]) + "\n" + lines[4][: len(lines[4]) // 2])
+        telemetry = TelemetryAggregator()
+        resumed = ParallelCampaign(
+            CONFIG, processes=2, checkpoint=checkpoint, telemetry=telemetry
+        ).run(TOOLS, PROGRAMS)
+        assert resumed == serial
+        start = telemetry.of_type("campaign_start")[0]
+        assert start["resumed_cells"] == 3
+        # only the missing cells were executed again
+        assert telemetry.completed_cells == start["total_cells"] - 3
+
+    def test_resume_after_injected_crash_bit_identical(self, serial, fault_env, tmp_path):
+        """Worker killed on the first attempt *and* resumed from checkpoint:
+        both fault paths compose and the result is still bit-identical."""
+        checkpoint = tmp_path / "faulted.jsonl"
+        fault_env("POS", "CS/account", 1, mode="crash")
+        first = ParallelCampaign(
+            CONFIG,
+            processes=2,
+            checkpoint=checkpoint,
+            fault_hook=faults.CRASH_ONCE_REF,
+        ).run(TOOLS, PROGRAMS)
+        assert first == serial
+        resumed = ParallelCampaign(CONFIG, processes=2, checkpoint=checkpoint).run(
+            TOOLS, PROGRAMS
+        )
+        assert resumed == serial
+
+    def test_completed_checkpoint_runs_nothing(self, serial, tmp_path):
+        checkpoint = tmp_path / "done.jsonl"
+        ParallelCampaign(CONFIG, processes=2, checkpoint=checkpoint).run(TOOLS, PROGRAMS)
+        telemetry = TelemetryAggregator()
+        resumed = ParallelCampaign(
+            CONFIG, processes=2, checkpoint=checkpoint, telemetry=telemetry
+        ).run(TOOLS, PROGRAMS)
+        assert resumed == serial
+        assert telemetry.completed_cells == 0
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        checkpoint = tmp_path / "other.jsonl"
+        ParallelCampaign(CONFIG, processes=2, checkpoint=checkpoint).run(TOOLS, PROGRAMS)
+        other = CampaignConfig(trials=2, budget=120, base_seed=8)
+        with pytest.raises(CampaignError, match="different campaign"):
+            ParallelCampaign(other, processes=2, checkpoint=checkpoint).run(TOOLS, PROGRAMS)
+
+    def test_checkpoint_lines_are_valid_results(self, tmp_path):
+        checkpoint = tmp_path / "records.jsonl"
+        ParallelCampaign(CONFIG, processes=2, checkpoint=checkpoint).run(TOOLS, PROGRAMS)
+        records = read_jsonl(checkpoint)
+        assert records[0]["checkpoint_version"] == 1
+        assert records[0]["base_seed"] == CONFIG.base_seed
+        cells = [r["result"] for r in records[1:]]
+        assert all({"tool", "program", "trial", "found"} <= r.keys() for r in cells)
+
+
+# Module-level factory: a spawn-started worker re-imports it by reference.
+def custom_random_factory() -> PerExecutionPolicyTool:
+    return PerExecutionPolicyTool("CustomRandom", lambda s: RandomWalkPolicy(seed=s))
+
+
+class TestSpawnSafeRegistry:
+    def test_custom_tool_under_spawn(self):
+        """The old registry silently fell back to default tools in spawned
+        workers; factory references in the cell spec fix that."""
+        register_tool("CustomRandom", custom_random_factory)
+        try:
+            config = CampaignConfig(trials=2, budget=60, base_seed=11)
+            serial = Campaign(config).run(
+                [custom_random_factory()], [bench.get("CS/account")]
+            )
+            parallel = ParallelCampaign(config, processes=2, start_method="spawn").run(
+                ["CustomRandom"], ["CS/account"]
+            )
+            assert parallel == serial
+            assert parallel.trials("CustomRandom", "CS/account")[0].tool == "CustomRandom"
+        finally:
+            _TOOL_FACTORIES.pop("CustomRandom", None)
+
+    def test_non_importable_factory_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="importable"):
+            register_tool("bad", lambda: PerExecutionPolicyTool("bad", RandomWalkPolicy))
+
+    def test_local_function_factory_rejected(self):
+        def local_factory():
+            return PerExecutionPolicyTool("local", RandomWalkPolicy)
+
+        with pytest.raises(ValueError):
+            register_tool("local", local_factory)

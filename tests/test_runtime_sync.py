@@ -3,8 +3,33 @@ deadlock detection and the memory-safety oracles."""
 
 from __future__ import annotations
 
+from collections import deque
+
+import pytest
+
 from repro.runtime import program, run_program
+from repro.runtime.errors import SchedulerError
 from repro.schedulers import RandomWalkPolicy, ReplayPolicy
+from repro.schedulers.base import SchedulerPolicy
+
+
+class ScriptedPolicy(SchedulerPolicy):
+    """Follow an explicit thread-id script, then fall back to lowest tid.
+
+    A deterministic adversarial scheduler: the script encodes the exact
+    worst-case interleaving a test wants to force.  Script entries naming a
+    thread that is not currently enabled are skipped."""
+
+    def __init__(self, script):
+        self._script = deque(script)
+
+    def choose(self, candidates, execution):
+        while self._script:
+            tid = self._script.popleft()
+            for candidate in candidates:
+                if candidate.tid == tid:
+                    return candidate
+        return min(candidates, key=lambda c: c.tid)
 
 
 def all_schedules_pass(prog, seeds=30, **kwargs):
@@ -279,6 +304,94 @@ class TestDeadlockDetection:
                 assert result.outcome == "deadlock"
                 return
         raise AssertionError("expected at least one deadlock in 100 schedules")
+
+
+class TestAdversarialDeadlock:
+    """Deadlock detection under adversarial (worst-case) scheduler policies —
+    not just sampled random walks."""
+
+    def test_scripted_schedule_forces_abba_deadlock(self, abba_deadlock):
+        # main spawns both workers, then each worker takes its first lock:
+        # T1 holds A wanting B, T2 holds B wanting A, main blocked on join.
+        result = run_program(abba_deadlock, ScriptedPolicy([0, 0, 1, 2]))
+        assert result.outcome == "deadlock"
+        assert result.trace.failure == "deadlock among threads [0, 1, 2]"
+
+    def test_scripted_benign_schedule_completes(self, abba_deadlock):
+        # Run worker one to completion before worker two ever starts.
+        result = run_program(abba_deadlock, ScriptedPolicy([0, 0, 1, 1, 1, 1]))
+        assert not result.crashed and result.outcome is None
+
+    def test_lock_hunter_finds_abba_deadlock_deterministically(self, abba_deadlock):
+        class LockHunterPolicy(SchedulerPolicy):
+            """Adversary: spawn everything, then rotate lock acquisitions
+            across threads — the classic hold-and-wait-maximising order."""
+
+            def __init__(self):
+                self._last = None
+
+            def choose(self, candidates, execution):
+                for kind in ("spawn", "lock"):
+                    group = [c for c in candidates if c.kind == kind]
+                    if group:
+                        switched = [c for c in group if c.tid != self._last]
+                        choice = min(switched or group, key=lambda c: c.tid)
+                        break
+                else:
+                    choice = min(candidates, key=lambda c: c.tid)
+                self._last = choice.tid
+                return choice
+
+        first = run_program(abba_deadlock, LockHunterPolicy())
+        second = run_program(abba_deadlock, LockHunterPolicy())
+        assert first.outcome == "deadlock"
+        assert second.schedule == first.schedule
+
+    def test_scripted_lost_wakeup_deadlocks(self):
+        @program("t/lostwakeup_adv", bug_kinds=("deadlock",))
+        def prog(t):
+            def waiter(t, m, c, ready):
+                yield t.lock(m)
+                is_ready = yield t.read(ready)
+                if not is_ready:
+                    yield t.wait(c, m)
+                yield t.unlock(m)
+
+            def signaller(t, c, ready):
+                yield t.write(ready, 1)
+                yield t.signal(c)
+
+            m = t.mutex("m")
+            c = t.cond("c")
+            ready = t.var("ready", 0)
+            h1 = yield t.spawn(waiter, m, c, ready)
+            h2 = yield t.spawn(signaller, c, ready)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        # Force the race window: the waiter reads ready == 0, the signaller
+        # then writes and signals (no waiter yet — the wakeup is lost), and
+        # only then does the waiter block in wait(): a guaranteed deadlock.
+        result = run_program(prog, ScriptedPolicy([0, 0, 1, 1, 2, 2]))
+        assert result.outcome == "deadlock"
+        assert "threads [0, 1]" in result.trace.failure
+
+    def test_replay_of_deadlock_schedule_reproduces_it(self, abba_deadlock):
+        original = run_program(abba_deadlock, ScriptedPolicy([0, 0, 1, 2]))
+        assert original.outcome == "deadlock"
+        replay = run_program(abba_deadlock, ReplayPolicy(original.schedule))
+        assert replay.outcome == "deadlock"
+        assert replay.schedule == original.schedule
+
+    def test_policy_returning_foreign_candidate_rejected(self, abba_deadlock):
+        class RoguePolicy(SchedulerPolicy):
+            def choose(self, candidates, execution):
+                from repro.runtime.executor import Candidate
+
+                return Candidate(tid=99, kind="w", location="var:x", loc="nowhere:1")
+
+        with pytest.raises(SchedulerError, match="not an enabled candidate"):
+            run_program(abba_deadlock, RoguePolicy())
 
 
 class TestHeapOracles:

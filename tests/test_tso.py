@@ -2,10 +2,48 @@
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.core.fuzzer import RffConfig, fuzz
 from repro.runtime import program, run_program, run_program_tso
-from repro.runtime.tso import TsoExecutor
+from repro.runtime.tso import FLUSH_KIND, TsoExecutor
 from repro.schedulers import PosPolicy, RandomWalkPolicy
+from repro.schedulers.base import SchedulerPolicy
+
+
+class FlushAvoiderPolicy(SchedulerPolicy):
+    """Adversary that delays store-buffer flushes as long as possible:
+    always runs a program event when one is enabled, flushing only when
+    flush steps are the sole remaining candidates."""
+
+    def choose(self, candidates, execution):
+        program_steps = [c for c in candidates if c.kind != FLUSH_KIND]
+        return min(program_steps or candidates, key=lambda c: c.tid)
+
+
+class EagerFlusherPolicy(SchedulerPolicy):
+    """Adversary at the other extreme: flushes every buffered store at the
+    first opportunity, making TSO behave sequentially consistent."""
+
+    def choose(self, candidates, execution):
+        flushes = [c for c in candidates if c.kind == FLUSH_KIND]
+        return min(flushes or candidates, key=lambda c: c.tid)
+
+
+class ScriptedTidPolicy(SchedulerPolicy):
+    """Follow an explicit tid script (skipping disabled entries), then
+    drain flushes, then lowest tid — deterministic worst-case schedules."""
+
+    def __init__(self, script):
+        self._script = deque(script)
+
+    def choose(self, candidates, execution):
+        while self._script:
+            tid = self._script.popleft()
+            for candidate in candidates:
+                if candidate.tid == tid:
+                    return candidate
+        return EagerFlusherPolicy().choose(candidates, execution)
 
 
 def _sb_left(t, x, y, res1):
@@ -194,3 +232,77 @@ class TestBufferMechanics:
 
     def test_racy_counter_still_crashes_under_tso(self, racy_counter):
         assert any(run_program_tso(racy_counter, RandomWalkPolicy(s)).crashed for s in range(300))
+
+
+class TestAdversarialDraining:
+    """Store-buffer draining under adversarial scheduler policies: the
+    executor must stay correct whether a policy starves or spams flushes."""
+
+    def test_scripted_interleaving_forces_sb_reordering(self):
+        # Both stores buffered, both loads served from (stale) memory, then
+        # everything flushed before main reads the results: the TSO-only
+        # r1 == r2 == 0 outcome, forced deterministically.
+        script = [0, 0, 1, 2, 1, 2, 1, 2]
+        first = run_program_tso(sb_litmus, ScriptedTidPolicy(script))
+        assert first.crashed and first.outcome == "assertion"
+        assert "store-buffer reordering observed" in first.trace.failure
+        second = run_program_tso(sb_litmus, ScriptedTidPolicy(script))
+        assert second.schedule == first.schedule
+
+    def test_flush_avoider_still_drains_buffers(self):
+        @program("t/drain_adv")
+        def prog(t):
+            def writer(t, u, v):
+                yield t.write(u, 1)
+                yield t.write(v, 2)
+
+            x = t.var("x", 0)
+            y = t.var("y", 0)
+            h1 = yield t.spawn(writer, x, y)
+            h2 = yield t.spawn(writer, y, x)
+            yield t.join(h1)
+            yield t.join(h2)
+
+        class RecordingAvoider(FlushAvoiderPolicy):
+            peak = 0
+
+            def notify(self, event, execution):
+                self.peak = max(self.peak, execution.pending_stores())
+
+        policy = RecordingAvoider()
+        executor = TsoExecutor(prog, policy)
+        result = executor.run()
+        # The adversary delayed every flush until nothing else was enabled:
+        # all four stores were buffered simultaneously...
+        assert policy.peak == 4
+        # ...yet the execution completed with fully drained buffers.
+        assert not result.truncated and not result.crashed
+        assert executor.pending_stores() == 0
+        flushes = [e for e in result.trace if e.kind == FLUSH_KIND]
+        writes = [e for e in result.trace if e.kind == "w"]
+        assert len(flushes) == 4
+        assert min(f.eid for f in flushes) > max(w.eid for w in writes)
+        # FIFO draining per thread: flush order follows program write order.
+        for tid in (1, 2):
+            per_thread = [f.aux for f in flushes if f.tid == tid]
+            assert per_thread == sorted(per_thread)
+
+    def test_eager_flusher_restores_sequential_consistency(self):
+        result = run_program_tso(sb_litmus, EagerFlusherPolicy())
+        assert not result.crashed
+        # Every store became visible immediately after it was buffered.
+        for flush in (e for e in result.trace if e.kind == FLUSH_KIND):
+            assert flush.eid == flush.aux + 1
+
+    def test_fences_hold_under_flush_starvation(self):
+        result = run_program_tso(sb_fenced, FlushAvoiderPolicy())
+        assert not result.crashed and not result.truncated
+
+    def test_flush_avoider_leaves_stale_reads_visible(self):
+        # Under maximal flush delay main's reads of r1/r2 see the initial
+        # -1 values (the workers' stores are still buffered at join time):
+        # unusual, but a legal TSO execution the runtime must model.
+        result = run_program_tso(sb_litmus, FlushAvoiderPolicy())
+        assert not result.crashed
+        main_reads = [e for e in result.trace if e.tid == 0 and e.kind == "r"]
+        assert main_reads and all(e.rf == 0 and e.value == -1 for e in main_reads)
