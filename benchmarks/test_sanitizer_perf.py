@@ -1,0 +1,77 @@
+"""Bench: sanitizer pipeline overhead (executor steps/sec, off vs on).
+
+The streaming sanitizers run inline with the executor, so their cost is
+pure per-event CPU.  This bench measures executor throughput with the
+sanitizer stack disabled and with all three sanitizers attached, writes
+``results/BENCH_sanitizer.json`` and asserts the full stack stays within
+a 3x slowdown — the budget that keeps sanitized campaigns practical.
+
+Plain ``time.perf_counter`` loops (not pytest-benchmark) so the numbers
+are produced on every run, including CI's plain ``pytest`` invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import bench
+from repro.analysis.online import build_stack
+from repro.runtime.executor import Executor
+from repro.schedulers.pos import PosPolicy
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: (subject, executions per sample) — one tiny hot program, one long one.
+SUBJECTS = [("CS/account", 60), ("CS/reorder_100", 15)]
+MAX_OVERHEAD = 3.0
+STACK = ("race", "lockset", "lockorder")
+
+
+def _sample(program, executions: int, names: tuple[str, ...]) -> tuple[int, float]:
+    """Total executor steps and wall seconds over ``executions`` runs."""
+    steps = 0
+    start = time.perf_counter()
+    for seed in range(executions):
+        sanitizers = build_stack(names) if names else None
+        result = Executor(
+            program,
+            PosPolicy(seed),
+            max_steps=program.max_steps or 20000,
+            sanitizers=sanitizers,
+        ).run()
+        steps += result.steps
+    return steps, time.perf_counter() - start
+
+
+def test_sanitizer_overhead_within_budget():
+    payload = {"max_overhead": MAX_OVERHEAD, "sanitizers": list(STACK), "subjects": {}}
+    worst = 0.0
+    for name, executions in SUBJECTS:
+        program = bench.get(name)
+        # Warm caches so the first-import cost lands outside the timed loops.
+        _sample(program, 2, STACK)
+        base_steps, base_wall = _sample(program, executions, ())
+        san_steps, san_wall = _sample(program, executions, STACK)
+        # Same seeds, same policy: the sanitized runs execute the same
+        # schedules, so steps/sec is directly comparable.
+        assert san_steps == base_steps
+        base_rate = base_steps / base_wall
+        san_rate = san_steps / san_wall
+        overhead = base_rate / san_rate
+        worst = max(worst, overhead)
+        payload["subjects"][name] = {
+            "executions": executions,
+            "steps": base_steps,
+            "steps_per_sec_off": round(base_rate, 1),
+            "steps_per_sec_on": round(san_rate, 1),
+            "overhead": round(overhead, 3),
+        }
+    payload["worst_overhead"] = round(worst, 3)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sanitizer.json").write_text(json.dumps(payload, indent=2) + "\n")
+    assert worst <= MAX_OVERHEAD, (
+        f"sanitizer stack costs {worst:.2f}x executor throughput "
+        f"(budget {MAX_OVERHEAD}x); see results/BENCH_sanitizer.json"
+    )

@@ -21,6 +21,16 @@ from repro.analysis.lockset import (
     LocksetReport,
     check_lock_discipline,
 )
+from repro.analysis.online import (
+    SANITIZERS,
+    OnlineLockOrderSanitizer,
+    OnlineLocksetSanitizer,
+    OnlineRaceSanitizer,
+    Sanitizer,
+    SanitizerReport,
+    build_stack,
+    parse_sanitizers,
+)
 from repro.analysis.vector_clock import VectorClock, concurrent
 
 __all__ = [
@@ -32,13 +42,21 @@ __all__ = [
     "LockGraphReport",
     "LocksetAnalyzer",
     "LocksetReport",
+    "OnlineLockOrderSanitizer",
+    "OnlineLocksetSanitizer",
+    "OnlineRaceSanitizer",
     "Race",
     "RaceReport",
+    "SANITIZERS",
+    "Sanitizer",
+    "SanitizerReport",
     "VectorClock",
+    "build_stack",
     "check_lock_discipline",
     "concurrent",
     "confirm_races",
     "find_races",
+    "parse_sanitizers",
     "predict_deadlocks",
     "predict_races",
 ]

@@ -30,14 +30,23 @@ from repro.core.events import Event
 from repro.core.trace import Trace
 
 #: Location prefixes holding plain data (race candidates).
-_DATA_PREFIXES = ("var:", "heap:")
+DATA_PREFIXES = ("var:", "heap:")
 #: Event kinds that are plain (non-atomic) data accesses.
-_PLAIN_READS = frozenset({"r", "hr"})
-_PLAIN_WRITES = frozenset({"w", "hw"})
+PLAIN_READS = frozenset({"r", "hr"})
+PLAIN_WRITES = frozenset({"w", "hw"})
 #: Event kinds acting as acquire+release synchronization on their location.
-_SYNC_KINDS = frozenset(
+SYNC_KINDS = frozenset(
     {"lock", "trylock", "unlock", "wait", "signal", "broadcast", "sem_acquire", "sem_release", "barrier", "rmw", "cas"}
 )
+#: The subset of SYNC_KINDS that acquire (join the location's release clock)
+#: before releasing; the rest are release-only (unlock, signal, sem_release).
+ACQUIRE_KINDS = frozenset({"lock", "trylock", "wait", "sem_acquire", "barrier", "rmw", "cas"})
+
+# Backwards-compatible private aliases (pre-online-sanitizer names).
+_DATA_PREFIXES = DATA_PREFIXES
+_PLAIN_READS = PLAIN_READS
+_PLAIN_WRITES = PLAIN_WRITES
+_SYNC_KINDS = SYNC_KINDS
 
 
 @dataclass(frozen=True)
@@ -143,8 +152,7 @@ class HbRaceDetector:
             return
         if event.kind in _SYNC_KINDS:
             # Acquire-release synchronization on the event's location.
-            reads_first = event.kind in ("lock", "trylock", "wait", "sem_acquire", "barrier", "rmw", "cas")
-            if reads_first:
+            if event.kind in ACQUIRE_KINDS:
                 self._acquire(tid, event.location)
             self._release(tid, event.location)
             return

@@ -45,6 +45,52 @@ class LockGraphReport:
         return bool(self.predictions)
 
 
+def lock_order_on_event(
+    event,
+    held: dict[int, list[str]],
+    edges: dict[tuple[str, str], set[int]],
+) -> None:
+    """One lock-order step: update held stacks and graph ``edges``.
+
+    Shared verbatim by the offline :class:`LockGraphAnalyzer` and the online
+    ``OnlineLockOrderSanitizer`` so the two agree by construction.
+    """
+    stack = held.setdefault(event.tid, [])
+    if event.kind == "lock" or (event.kind == "trylock" and event.value):
+        for outer in stack:
+            edges.setdefault((outer, event.location), set()).add(event.tid)
+        stack.append(event.location)
+    elif event.kind == "unlock":
+        if event.location in stack:
+            stack.remove(event.location)
+    elif event.kind == "wait":
+        # Waiting releases the mutex named by the event's aux.
+        if event.aux in stack:
+            stack.remove(event.aux)
+
+
+def cycle_predictions(edges: dict[tuple[str, str], set[int]]) -> list[DeadlockPrediction]:
+    """Inter-thread cycles of the lock-order graph spanned by ``edges``."""
+    graph = nx.DiGraph()
+    for (outer, inner), threads in edges.items():
+        graph.add_edge(outer, inner, threads=threads)
+    predictions: list[DeadlockPrediction] = []
+    for cycle in nx.simple_cycles(graph):
+        if len(cycle) < 2:
+            continue
+        contributors: set[int] = set()
+        for index, outer in enumerate(cycle):
+            inner = cycle[(index + 1) % len(cycle)]
+            contributors |= edges.get((outer, inner), set())
+        # A cycle one thread creates alone (nested reacquisition in a
+        # consistent order) is not a deadlock between threads.
+        if len(contributors) >= 2:
+            predictions.append(
+                DeadlockPrediction(cycle=tuple(cycle), threads=frozenset(contributors))
+            )
+    return predictions
+
+
 class LockGraphAnalyzer:
     """Builds the lock-order graph and reports inter-thread cycles."""
 
@@ -53,34 +99,8 @@ class LockGraphAnalyzer:
         held: dict[int, list[str]] = {}
         report = LockGraphReport()
         for event in trace.events:
-            stack = held.setdefault(event.tid, [])
-            if event.kind == "lock" or (event.kind == "trylock" and event.value):
-                for outer in stack:
-                    report.edges.setdefault((outer, event.location), set()).add(event.tid)
-                stack.append(event.location)
-            elif event.kind == "unlock":
-                if event.location in stack:
-                    stack.remove(event.location)
-            elif event.kind == "wait":
-                # Waiting releases the mutex named by the event's aux.
-                if event.aux in stack:
-                    stack.remove(event.aux)
-        graph = nx.DiGraph()
-        for (outer, inner), threads in report.edges.items():
-            graph.add_edge(outer, inner, threads=threads)
-        for cycle in nx.simple_cycles(graph):
-            if len(cycle) < 2:
-                continue
-            contributors: set[int] = set()
-            for index, outer in enumerate(cycle):
-                inner = cycle[(index + 1) % len(cycle)]
-                contributors |= report.edges.get((outer, inner), set())
-            # A cycle one thread creates alone (nested reacquisition in a
-            # consistent order) is not a deadlock between threads.
-            if len(contributors) >= 2:
-                report.predictions.append(
-                    DeadlockPrediction(cycle=tuple(cycle), threads=frozenset(contributors))
-                )
+            lock_order_on_event(event, held, report.edges)
+        report.predictions.extend(cycle_predictions(report.edges))
         return report
 
 

@@ -25,11 +25,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.analysis.hb import DATA_PREFIXES as _DATA_PREFIXES
+from repro.analysis.hb import PLAIN_READS as _READ_KINDS
+from repro.analysis.hb import PLAIN_WRITES as _WRITE_KINDS
 from repro.core.trace import Trace
-
-_DATA_PREFIXES = ("var:", "heap:")
-_READ_KINDS = frozenset({"r", "hr"})
-_WRITE_KINDS = frozenset({"w", "hw"})
 
 
 class LocationState(enum.Enum):
@@ -78,6 +77,102 @@ class _Shadow:
     reported: bool = False
 
 
+def eraser_on_event(
+    event,
+    held: dict[int, set[str]],
+    shadows: dict[str, _Shadow],
+    joined: dict[int, set[int]],
+    report: LocksetReport,
+) -> None:
+    """One Eraser step: update ``held``/``shadows``/``joined`` for ``event``.
+
+    Shared verbatim by the offline :class:`LocksetAnalyzer` and the online
+    ``OnlineLocksetSanitizer`` so the two agree by construction.
+    """
+    holder = held.setdefault(event.tid, set())
+    if event.kind == "lock" or (event.kind == "trylock" and event.value):
+        holder.add(event.location)
+        return
+    if event.kind == "unlock":
+        holder.discard(event.location)
+        return
+    if event.kind == "wait":
+        # Waiting releases the mutex (named by the event's aux);
+        # the later re-acquire shows up as a separate lock event.
+        holder.discard(event.aux)
+        return
+    if event.kind == "join" and isinstance(event.aux, int):
+        mine = joined.setdefault(event.tid, set())
+        mine.add(event.aux)
+        mine |= joined.get(event.aux, set())
+        return
+    is_read = event.kind in _READ_KINDS
+    is_write = event.kind in _WRITE_KINDS
+    if not (is_read or is_write) or not event.location.startswith(_DATA_PREFIXES):
+        return
+    shadow = shadows.setdefault(event.location, _Shadow())
+    # Join-awareness (the classic Eraser false-positive fix): when
+    # every other thread that ever touched the location has been
+    # joined by the current thread, ownership has transferred — the
+    # location re-enters the exclusive regime.
+    others = shadow.accessors - {event.tid}
+    if others and others <= joined.get(event.tid, set()):
+        shadow.state = LocationState.EXCLUSIVE
+        shadow.first_thread = event.tid
+        shadow.accessors = {event.tid}
+    shadow.accessors.add(event.tid)
+    _step(shadow, event, holder, report)
+
+
+def eraser_finish(shadows: dict[str, _Shadow], report: LocksetReport) -> None:
+    """Fill the report's final per-location states and candidate locksets."""
+    for location, shadow in shadows.items():
+        report.states[location] = shadow.state
+        if shadow.candidates is not None:
+            report.candidate_locksets[location] = frozenset(shadow.candidates)
+
+
+def _step(shadow: _Shadow, event, holder: set[str], report: LocksetReport) -> None:
+    if shadow.state is LocationState.VIRGIN:
+        shadow.state = LocationState.EXCLUSIVE
+        shadow.first_thread = event.tid
+        # The candidate set starts from the first access's held locks;
+        # it is frozen while the location stays exclusive and refined
+        # again once a second thread arrives.  (Starting from the first
+        # accessor — not the second — is what catches wronglock-style
+        # inconsistent-lock bugs even without overlapping accesses.)
+        shadow.candidates = set(holder)
+        return
+    if shadow.state is LocationState.EXCLUSIVE:
+        if event.tid == shadow.first_thread:
+            return
+        assert shadow.candidates is not None
+        shadow.candidates &= holder
+        shadow.state = (
+            LocationState.SHARED_MODIFIED
+            if event.kind in _WRITE_KINDS
+            else LocationState.SHARED
+        )
+    else:
+        assert shadow.candidates is not None
+        shadow.candidates &= holder
+        if event.kind in _WRITE_KINDS:
+            shadow.state = LocationState.SHARED_MODIFIED
+    if (
+        shadow.state is LocationState.SHARED_MODIFIED
+        and not shadow.candidates
+        and not shadow.reported
+    ):
+        shadow.reported = True
+        report.violations.append(
+            LockDisciplineViolation(
+                location=event.location,
+                at_event=event.eid,
+                threads=frozenset(shadow.accessors),
+            )
+        )
+
+
 class LocksetAnalyzer:
     """Single-pass Eraser over a recorded trace."""
 
@@ -88,84 +183,9 @@ class LocksetAnalyzer:
         joined: dict[int, set[int]] = {}
         report = LocksetReport()
         for event in trace.events:
-            holder = held.setdefault(event.tid, set())
-            if event.kind == "lock" or (event.kind == "trylock" and event.value):
-                holder.add(event.location)
-                continue
-            if event.kind == "unlock":
-                holder.discard(event.location)
-                continue
-            if event.kind == "wait":
-                # Waiting releases the mutex (named by the event's aux);
-                # the later re-acquire shows up as a separate lock event.
-                holder.discard(event.aux)
-                continue
-            if event.kind == "join" and isinstance(event.aux, int):
-                mine = joined.setdefault(event.tid, set())
-                mine.add(event.aux)
-                mine |= joined.get(event.aux, set())
-                continue
-            is_read = event.kind in _READ_KINDS
-            is_write = event.kind in _WRITE_KINDS
-            if not (is_read or is_write) or not event.location.startswith(_DATA_PREFIXES):
-                continue
-            shadow = shadows.setdefault(event.location, _Shadow())
-            # Join-awareness (the classic Eraser false-positive fix): when
-            # every other thread that ever touched the location has been
-            # joined by the current thread, ownership has transferred — the
-            # location re-enters the exclusive regime.
-            others = shadow.accessors - {event.tid}
-            if others and others <= joined.get(event.tid, set()):
-                shadow.state = LocationState.EXCLUSIVE
-                shadow.first_thread = event.tid
-                shadow.accessors = {event.tid}
-            shadow.accessors.add(event.tid)
-            self._step(shadow, event, holder, report)
-        for location, shadow in shadows.items():
-            report.states[location] = shadow.state
-            if shadow.candidates is not None:
-                report.candidate_locksets[location] = frozenset(shadow.candidates)
+            eraser_on_event(event, held, shadows, joined, report)
+        eraser_finish(shadows, report)
         return report
-
-    def _step(self, shadow: _Shadow, event, holder: set[str], report: LocksetReport) -> None:
-        if shadow.state is LocationState.VIRGIN:
-            shadow.state = LocationState.EXCLUSIVE
-            shadow.first_thread = event.tid
-            # The candidate set starts from the first access's held locks;
-            # it is frozen while the location stays exclusive and refined
-            # again once a second thread arrives.  (Starting from the first
-            # accessor — not the second — is what catches wronglock-style
-            # inconsistent-lock bugs even without overlapping accesses.)
-            shadow.candidates = set(holder)
-            return
-        if shadow.state is LocationState.EXCLUSIVE:
-            if event.tid == shadow.first_thread:
-                return
-            assert shadow.candidates is not None
-            shadow.candidates &= holder
-            shadow.state = (
-                LocationState.SHARED_MODIFIED
-                if event.kind in _WRITE_KINDS
-                else LocationState.SHARED
-            )
-        else:
-            assert shadow.candidates is not None
-            shadow.candidates &= holder
-            if event.kind in _WRITE_KINDS:
-                shadow.state = LocationState.SHARED_MODIFIED
-        if (
-            shadow.state is LocationState.SHARED_MODIFIED
-            and not shadow.candidates
-            and not shadow.reported
-        ):
-            shadow.reported = True
-            report.violations.append(
-                LockDisciplineViolation(
-                    location=event.location,
-                    at_event=event.eid,
-                    threads=frozenset(shadow.accessors),
-                )
-            )
 
 
 def check_lock_discipline(trace: Trace) -> LocksetReport:

@@ -37,6 +37,17 @@ from repro.harness.tools import (
 )
 
 
+def _parse_sanitizers(spec: str | None) -> tuple[str, ...]:
+    if not spec:
+        return ()
+    from repro.analysis.online import parse_sanitizers
+
+    try:
+        return parse_sanitizers(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _make_tool(name: str):
     factories = {
         "RFF": RffTool,
@@ -69,6 +80,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         use_power_schedule=not args.no_power,
         use_constraints=not args.no_constraints,
         memory_model=args.memory_model,
+        sanitizers=_parse_sanitizers(args.sanitize),
     )
     report = fuzz(
         prog,
@@ -85,9 +97,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     print(f"corpus size:        {report.corpus_size}")
     print(f"rf-pair coverage:   {report.pair_coverage}")
     print(f"unique rf classes:  {report.unique_signatures}")
+    if config.sanitizers:
+        print(f"sanitizer reports:  {len(report.sanitizer_records)}")
     for crash in report.crashes[:5]:
         print(f"  crash #{crash.execution_index}: {crash.outcome} — {crash.failure}")
         print(f"    schedule: {crash.abstract_schedule}")
+    for record in report.sanitizer_records[:5]:
+        print(f"  sanitizer #{record.execution_index}: {record.report}")
     if args.minimize and report.crashes:
         from repro.core.minimize import minimize_schedule
 
@@ -133,19 +149,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     prog = bench.get(args.program)
     tool = _make_tool(args.tool)
+    tool.sanitizers = _parse_sanitizers(args.sanitize)
     result = tool.find_bug(prog, budget=args.budget, seed=args.seed)
     if result.error:
         print(f"{tool.name} on {prog.name}: Error ({result.error})")
         return 2
     status = f"bug ({result.outcome}) at schedule {result.schedules_to_bug}" if result.found else "no bug"
     print(f"{tool.name} on {prog.name}: {status} after {result.executions} schedules")
+    for report in result.sanitizer_reports:
+        print(f"  {report}")
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     program_names = list(args.programs or bench.names())
     tool_names = list(args.tools) if args.tools else [t.name for t in paper_tools()]
-    config = CampaignConfig(trials=args.trials, budget=args.budget, base_seed=args.seed)
+    sanitizers = _parse_sanitizers(args.sanitize)
+    config = CampaignConfig(
+        trials=args.trials, budget=args.budget, base_seed=args.seed, sanitizers=sanitizers
+    )
     use_engine = (
         args.parallel is not None
         or args.telemetry
@@ -185,6 +207,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(figure4_ascii(result))
         print()
         print(throughput_summary(aggregator))
+        if sanitizers:
+            from repro.harness.reporting import sanitizer_summary
+
+            print()
+            print(sanitizer_summary(result))
         return 0
     programs = [bench.get(n) for n in program_names]
     tools = [_make_tool(n) for n in tool_names]
@@ -197,6 +224,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(appendix_b_table(result))
     print()
     print(figure4_ascii(result))
+    if sanitizers:
+        from repro.harness.reporting import sanitizer_summary
+
+        print()
+        print(sanitizer_summary(result))
     return 0
 
 
@@ -268,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="delta-debug the first crashing abstract schedule")
     p_fuzz.add_argument("--save-crashes", metavar="DIR",
                         help="persist crashing schedules as JSON under DIR")
+    p_fuzz.add_argument("--sanitize", metavar="LIST",
+                        help="online sanitizers per execution: comma-separated subset of "
+                             "race,lockset,lockorder (or 'all')")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_analyze = sub.add_parser("analyze", help="dynamic trace analyses (races, locks)")
@@ -281,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--tool", default="POS")
     p_run.add_argument("--budget", type=int, default=1000)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--sanitize", metavar="LIST",
+                       help="online sanitizers per execution: comma-separated subset of "
+                            "race,lockset,lockorder (or 'all')")
     p_run.set_defaults(func=_cmd_run)
 
     p_campaign = sub.add_parser("campaign", help="run a tools x programs x trials campaign")
@@ -303,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="kill and retry any cell exceeding this wall time")
     p_campaign.add_argument("--retries", type=int, default=2,
                             help="extra attempts per crashed/timed-out cell (default 2)")
+    p_campaign.add_argument("--sanitize", metavar="LIST",
+                            help="attach online sanitizers to every tool: comma-separated "
+                                 "subset of race,lockset,lockorder (or 'all')")
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_dpor = sub.add_parser("dpor", help="race-reversal rf-DPOR exploration")

@@ -23,6 +23,7 @@ _LAZY = {
     "RffSchedulerPolicy": "repro.core.proactive",
     "TrackerState": "repro.core.proactive",
     "CrashRecord": "repro.core.fuzzer",
+    "SanitizerRecord": "repro.core.fuzzer",
     "FuzzReport": "repro.core.fuzzer",
     "RffConfig": "repro.core.fuzzer",
     "RffFuzzer": "repro.core.fuzzer",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.constraints import AbstractSchedule, Constraint
 from repro.core.corpus import Corpus, CorpusEntry
@@ -33,6 +34,9 @@ from repro.runtime.executor import DEFAULT_MAX_STEPS, ExecutionResult, Executor
 from repro.runtime.program import Program
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.pos import PosPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.online import Sanitizer, SanitizerReport
 
 
 @dataclass(frozen=True)
@@ -62,6 +66,10 @@ class RffConfig:
     #: Probability of a two-parent splice instead of a single-op mutation
     #: ("one (or more)" corpus members per Section 4; AFL's splice stage).
     splice_probability: float = 0.1
+    #: Online sanitizer stack attached to every execution (names from
+    #: ``repro.analysis.online.SANITIZERS``, e.g. ``("race", "lockset")``).
+    #: Sanitizer findings count as bugs and feed isInteresting like crashes.
+    sanitizers: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,16 @@ class CrashRecord:
     concrete_schedule: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class SanitizerRecord:
+    """One novel sanitizer finding and the schedule that exposed it."""
+
+    execution_index: int
+    report: "SanitizerReport"
+    abstract_schedule: AbstractSchedule
+    concrete_schedule: tuple[int, ...]
+
+
 @dataclass
 class FuzzReport:
     """Everything a campaign needs to know about one fuzzing run."""
@@ -82,6 +100,8 @@ class FuzzReport:
     program_name: str
     executions: int = 0
     crashes: list[CrashRecord] = field(default_factory=list)
+    #: Novel sanitizer findings (deduplicated by abstract-event pair).
+    sanitizer_records: list[SanitizerRecord] = field(default_factory=list)
     corpus_size: int = 0
     pair_coverage: int = 0
     unique_signatures: int = 0
@@ -91,12 +111,18 @@ class FuzzReport:
 
     @property
     def found_bug(self) -> bool:
-        return bool(self.crashes)
+        return bool(self.crashes) or bool(self.sanitizer_records)
 
     @property
     def first_crash_at(self) -> int | None:
-        """Schedules-to-first-bug, the paper's primary metric (1-based)."""
+        """Schedules-to-first-crash (1-based)."""
         return self.crashes[0].execution_index if self.crashes else None
+
+    @property
+    def first_bug_at(self) -> int | None:
+        """Schedules-to-first-bug — crash or sanitizer finding (1-based)."""
+        firsts = [r.execution_index for r in (self.crashes[:1] + self.sanitizer_records[:1])]
+        return min(firsts) if firsts else None
 
 
 class RffFuzzer:
@@ -128,6 +154,8 @@ class RffFuzzer:
         for schedule in initial:
             self.corpus.add(CorpusEntry(schedule=schedule))
         self.report = FuzzReport(program_name=program.name)
+        #: dedup keys of every sanitizer finding recorded so far.
+        self._sanitizer_keys: set[tuple] = set()
         #: rf signature of the most recent execution (stage cut-off input).
         self._last_signature: frozenset | None = None
         # Lazy import: repro.harness imports this module at package init.
@@ -158,10 +186,24 @@ class RffFuzzer:
             return TsoExecutor
         raise ValueError(f"unknown memory model {self.config.memory_model!r}")
 
+    def _sanitizer_stack(self) -> list["Sanitizer"]:
+        if not self.config.sanitizers:
+            return []
+        # Lazy import: keeps the fuzzer import chain free of the analysis
+        # package (and its networkx dependency) when sanitizers are off.
+        from repro.analysis.online import build_stack
+
+        return build_stack(self.config.sanitizers)
+
     def _execute(self, schedule: AbstractSchedule) -> tuple[ExecutionResult, SchedulerPolicy]:
         policy = self._make_policy(schedule)
         executor_class = self._executor_class()
-        result = executor_class(self.program, policy, max_steps=self._max_steps()).run()
+        result = executor_class(
+            self.program,
+            policy,
+            max_steps=self._max_steps(),
+            sanitizers=self._sanitizer_stack(),
+        ).run()
         return result, policy
 
     # ------------------------------------------------------------------
@@ -208,7 +250,8 @@ class RffFuzzer:
         return self._last_signature is not None and self.feedback.frequency(self._last_signature) > mu
 
     def _run_one(self, mutant: AbstractSchedule, parent: CorpusEntry) -> bool:
-        """Execute one mutant schedule; returns True when it crashed."""
+        """Execute one mutant schedule; returns True when it found a bug
+        (a crash or a novel sanitizer finding)."""
         result, policy = self._execute(mutant)
         self.report.executions += 1
         if result.truncated:
@@ -229,7 +272,22 @@ class RffFuzzer:
                     concrete_schedule=tuple(result.schedule),
                 )
             )
-        admit = crashed or observation.interesting
+        new_reports = [
+            report
+            for report in result.sanitizer_reports
+            if report.dedup_key not in self._sanitizer_keys
+        ]
+        for report in new_reports:
+            self._sanitizer_keys.add(report.dedup_key)
+            self.report.sanitizer_records.append(
+                SanitizerRecord(
+                    execution_index=self.report.executions,
+                    report=report,
+                    abstract_schedule=mutant,
+                    concrete_schedule=tuple(result.schedule),
+                )
+            )
+        admit = crashed or bool(new_reports) or observation.interesting
         if admit and self.config.use_feedback:
             self._counters.corpus_adds += 1
             satisfied, total = self._satisfaction(policy)
@@ -241,7 +299,7 @@ class RffFuzzer:
                     satisfied_fraction=(satisfied / total) if total else 1.0,
                 )
             )
-        return crashed
+        return crashed or bool(new_reports)
 
     def _pin_novelty(self, mutant: AbstractSchedule, new_pairs) -> AbstractSchedule:
         """Stitch the execution's novel rf pairs into the stored schedule.

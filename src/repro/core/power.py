@@ -16,6 +16,7 @@ combinations get fuzzed hard exactly while they remain rare.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.corpus import Corpus, CorpusEntry
@@ -49,7 +50,15 @@ class PowerSchedule:
         mu = self.mean_frequency(corpus, feedback)
         if feedback.frequency(entry.signature) > mu:
             return 0
-        raw = (entry.gamma / self.beta) * (2.0 ** entry.chosen_since_skip)
+        # The exponent grows without bound while an entry keeps being chosen
+        # (chosen_since_skip is never reset unless the entry is skipped), and
+        # 2.0 ** s raises OverflowError past s ~ 1024.  Once 2^s alone would
+        # clear the cut-off the result is M regardless, so short-circuit.
+        base = entry.gamma / self.beta
+        s = entry.chosen_since_skip
+        if base > 0.0 and s > math.log2(self.max_energy / base) + 1.0:
+            return self.max_energy
+        raw = base * (2.0 ** min(s, 1023))
         return max(1, min(int(raw), self.max_energy))
 
 

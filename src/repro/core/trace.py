@@ -11,6 +11,7 @@ histograms (Figure 5).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.events import AbstractEvent, Event
@@ -31,6 +32,12 @@ class Trace:
     outcome: str | None = None
     #: Human-readable description of the failure, when any.
     failure: str | None = None
+    #: Lazily built eid -> event index (rebuilt when the event count changes;
+    #: excluded from equality/repr so Trace value semantics are unchanged).
+    _eid_index: dict[int, Event] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _eid_index_size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -42,10 +49,23 @@ class Trace:
     def crashed(self) -> bool:
         return self.outcome is not None
 
+    def _events_by_id(self) -> dict[int, Event]:
+        if self._eid_index is None or self._eid_index_size != len(self.events):
+            self._eid_index = {event.eid: event for event in self.events}
+            self._eid_index_size = len(self.events)
+        return self._eid_index
+
     def event_by_id(self, eid: int) -> Event:
-        # Event ids are assigned densely from 1 in execution order.
-        event = self.events[eid - 1]
-        if event.eid != eid:  # pragma: no cover - defensive; ids are dense
+        # Fast path: executor-recorded traces assign ids densely from 1 in
+        # execution order, so the event usually sits at index eid - 1.
+        if 1 <= eid <= len(self.events):
+            event = self.events[eid - 1]
+            if event.eid == eid:
+                return event
+        # Sliced/minimized traces (e.g. ddmin output) keep original ids on an
+        # arbitrary event subsequence; fall back to the eid index.
+        event = self._events_by_id().get(eid)
+        if event is None:
             raise KeyError(eid)
         return event
 
@@ -54,12 +74,24 @@ class Trace:
         return {e.eid: e.rf for e in self.events if e.rf is not None}
 
     def rf_pairs(self) -> set[RfPair]:
-        """The set of *abstract* reads-from pairs exercised by this trace."""
+        """The set of *abstract* reads-from pairs exercised by this trace.
+
+        On an event subsequence (sliced or minimized traces), pairs whose
+        writer event was dropped from the subsequence are omitted — the
+        reads-from edge is no longer witnessed by the trace itself.
+        """
+        by_id = self._events_by_id()
         pairs: set[RfPair] = set()
         for event in self.events:
             if event.rf is None:
                 continue
-            writer = None if event.rf == 0 else self.event_by_id(event.rf).abstract
+            if event.rf == 0:
+                writer = None
+            else:
+                writer_event = by_id.get(event.rf)
+                if writer_event is None:
+                    continue
+                writer = writer_event.abstract
             pairs.add((writer, event.abstract))
         return pairs
 
@@ -91,7 +123,7 @@ class Trace:
         abstract events with the same abstract reads-from function expose
         identical thread-local control and data flow (Section 3).
         """
-        if sorted(str(e.abstract) for e in self.events) != sorted(str(e.abstract) for e in other.events):
+        if Counter(e.abstract for e in self.events) != Counter(e.abstract for e in other.events):
             return False
         return self.rf_signature() == other.rf_signature()
 

@@ -26,6 +26,9 @@ class CampaignConfig:
     #: Per-program budget overrides (large programs get smaller budgets so
     #: laptop-scale campaigns stay fast).
     budget_overrides: dict[str, int] = field(default_factory=dict)
+    #: Online sanitizer names to attach to every tool (see
+    #: ``repro.analysis.online.SANITIZERS``); empty = crash oracle only.
+    sanitizers: tuple[str, ...] = ()
 
     def budget_for(self, program_name: str) -> int:
         return self.budget_overrides.get(program_name, self.budget)
@@ -110,6 +113,8 @@ class Campaign:
         callback ``(tool_name, program_name, trial_index)``."""
         outcome = CampaignResult(config=self.config)
         for tool in tools:
+            if self.config.sanitizers:
+                tool.sanitizers = tuple(self.config.sanitizers)
             trials = 1 if tool.deterministic else self.config.trials
             for program in programs:
                 budget = self.config.budget_for(program.name)

@@ -77,6 +77,8 @@ class CellSpec:
     #: Optional importable fault-injection hook called with the spec before
     #: the cell runs (see repro.harness.faults).
     fault_hook: str | None = None
+    #: Online sanitizer names attached to the tool inside the worker.
+    sanitizers: tuple[str, ...] = ()
 
     @property
     def key(self) -> tuple[str, str, int]:
@@ -180,6 +182,8 @@ def _run_cell(spec: CellSpec) -> CellOutcome:
     if spec.fault_hook:
         resolve_ref(spec.fault_hook)(spec)
     tool = resolve_ref(spec.factory_ref)()
+    if spec.sanitizers:
+        tool.sanitizers = tuple(spec.sanitizers)
     program = bench.get(spec.program)
     before = GLOBAL_COUNTERS.snapshot()
     start = time.perf_counter()
@@ -314,6 +318,7 @@ class ParallelCampaign:
                             budget=budget,
                             factory_ref=ref,
                             fault_hook=self.fault_hook,
+                            sanitizers=tuple(self.config.sanitizers),
                         )
                     )
         return specs, deterministic
@@ -333,6 +338,7 @@ class ParallelCampaign:
             "trials": self.config.trials,
             "tools": list(tool_names),
             "programs": list(program_names),
+            "sanitizers": list(self.config.sanitizers),
         }
 
     def _load_checkpoint(
@@ -392,6 +398,17 @@ class ParallelCampaign:
                     found=outcome.result.found,
                     **counters,
                 )
+                for report in outcome.result.sanitizer_reports:
+                    sink.emit(
+                        "sanitizer_report",
+                        tool=spec.tool,
+                        program=spec.program,
+                        trial=spec.trial,
+                        sanitizer=report.sanitizer,
+                        kind=report.kind,
+                        location=report.location,
+                        pair=list(report.pair),
+                    )
             if self.checkpoint is not None:
                 append_jsonl({"result": result_to_dict(result)}, self.checkpoint)
                 sink.emit(

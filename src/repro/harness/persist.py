@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.analysis.online import SanitizerReport
 from repro.core.constraints import AbstractSchedule, Constraint
 from repro.core.events import AbstractEvent, Event
 from repro.core.fuzzer import CrashRecord, FuzzReport
@@ -148,7 +149,7 @@ def report_to_dict(report: FuzzReport) -> dict[str, Any]:
 
 
 def result_to_dict(result: BugSearchResult) -> dict[str, Any]:
-    return {
+    out = {
         "tool": result.tool,
         "program": result.program,
         "trial": result.trial,
@@ -158,6 +159,9 @@ def result_to_dict(result: BugSearchResult) -> dict[str, Any]:
         "outcome": result.outcome,
         "error": result.error,
     }
+    if result.sanitizer_reports:
+        out["sanitizer_reports"] = [r.to_dict() for r in result.sanitizer_reports]
+    return out
 
 
 def result_from_dict(data: dict[str, Any]) -> BugSearchResult:
@@ -172,6 +176,9 @@ def result_from_dict(data: dict[str, Any]) -> BugSearchResult:
         executions=data["executions"],
         outcome=data.get("outcome"),
         error=data.get("error"),
+        sanitizer_reports=tuple(
+            SanitizerReport.from_dict(r) for r in data.get("sanitizer_reports", ())
+        ),
     )
 
 

@@ -174,6 +174,10 @@ def throughput_summary(aggregator, slowest: int = 3) -> str:
         f"  wall time:        {summary['wall_time']:.2f}s",
         f"  worker restarts:  {summary['worker_restarts']}",
     ]
+    if summary.get("sanitizer_reports"):
+        by_name = aggregator.sanitizer_reports_by_name()
+        breakdown = ", ".join(f"{name}: {count}" for name, count in sorted(by_name.items()))
+        lines.append(f"  sanitizer hits:   {summary['sanitizer_reports']} ({breakdown})")
     slow = aggregator.slowest_cells(slowest)
     if slow:
         cells = ", ".join(
@@ -181,6 +185,40 @@ def throughput_summary(aggregator, slowest: int = 3) -> str:
             for (tool, program, trial), wall in slow
         )
         lines.append(f"  slowest cells:    {cells}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sanitizer findings
+# ----------------------------------------------------------------------
+def sanitizer_summary(campaign: CampaignResult) -> str:
+    """Render the distinct sanitizer findings of a campaign, per program.
+
+    Findings are deduplicated across tools and trials by their
+    ``dedup_key`` (sanitizer, kind, abstract-event pair), so the block
+    reports *bugs*, not detection counts.
+    """
+    per_program: dict[str, dict[tuple, str]] = {}
+    per_sanitizer: Counter[str] = Counter()
+    for (_, program), trials in campaign.results.items():
+        bucket = per_program.setdefault(program, {})
+        for result in trials:
+            for report in result.sanitizer_reports:
+                if report.dedup_key not in bucket:
+                    bucket[report.dedup_key] = report.message
+                    per_sanitizer[report.sanitizer] += 1
+    total = sum(len(bucket) for bucket in per_program.values())
+    lines = [f"Sanitizer findings: {total} distinct"]
+    if total:
+        breakdown = ", ".join(f"{name}: {count}" for name, count in sorted(per_sanitizer.items()))
+        lines.append(f"  by sanitizer:     {breakdown}")
+    for program in sorted(per_program):
+        bucket = per_program[program]
+        if not bucket:
+            continue
+        lines.append(f"  {program}: {len(bucket)}")
+        for key in sorted(bucket):
+            lines.append(f"    [{key[0]}] {bucket[key]}")
     return "\n".join(lines)
 
 

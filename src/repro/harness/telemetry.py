@@ -49,6 +49,8 @@ class Counters:
     crashes: int = 0
     #: Schedules admitted into a fuzzer corpus.
     corpus_adds: int = 0
+    #: Findings emitted by online sanitizer stacks (one per report).
+    sanitizer_reports: int = 0
 
     def snapshot(self) -> "Counters":
         return replace(self)
@@ -60,10 +62,12 @@ class Counters:
             steps=self.steps - since.steps,
             crashes=self.crashes - since.crashes,
             corpus_adds=self.corpus_adds - since.corpus_adds,
+            sanitizer_reports=self.sanitizer_reports - since.sanitizer_reports,
         )
 
     def reset(self) -> None:
         self.executions = self.steps = self.crashes = self.corpus_adds = 0
+        self.sanitizer_reports = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
@@ -107,6 +111,9 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "worker_start": frozenset({"pid", "tool", "program", "trial"}),
     "worker_exit": frozenset({"pid", "exitcode", "kind"}),
     "pool_degraded": frozenset({"reason"}),
+    "sanitizer_report": frozenset(
+        {"tool", "program", "trial", "sanitizer", "kind", "location", "pair"}
+    ),
     "checkpoint": frozenset({"path", "completed", "total"}),
     "campaign_end": frozenset(
         {"wall_time", "cells", "failed_cells", "retries", "executions", "schedules_per_sec"}
@@ -222,6 +229,18 @@ class TelemetryAggregator(TelemetrySink):
         return sum(r["executions"] for r in self.of_type("cell_end"))
 
     @property
+    def sanitizer_report_count(self) -> int:
+        """Distinct sanitizer findings emitted across all cells."""
+        return len(self.of_type("sanitizer_report"))
+
+    def sanitizer_reports_by_name(self) -> dict[str, int]:
+        """Finding counts per sanitizer (``race``/``lockset``/``lockorder``)."""
+        counts: dict[str, int] = {}
+        for record in self.of_type("sanitizer_report"):
+            counts[record["sanitizer"]] = counts.get(record["sanitizer"], 0) + 1
+        return counts
+
+    @property
     def total_steps(self) -> int:
         return sum(r["steps"] for r in self.of_type("cell_end"))
 
@@ -256,6 +275,7 @@ class TelemetryAggregator(TelemetrySink):
             "steps": self.total_steps,
             "wall_time": self.total_wall_time,
             "schedules_per_sec": self.schedules_per_sec(),
+            "sanitizer_reports": self.sanitizer_report_count,
         }
 
 

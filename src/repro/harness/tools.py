@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.algos.modelcheck import ModelChecker, UnsupportedProgram
 from repro.algos.period import PeriodExplorer
@@ -24,6 +25,9 @@ from repro.schedulers.muzz_like import MuzzLikePolicy
 from repro.schedulers.pct import PctPolicy
 from repro.schedulers.pos import PosPolicy
 from repro.schedulers.random_walk import RandomWalkPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.online import SanitizerReport
 
 
 @dataclass(frozen=True)
@@ -42,6 +46,9 @@ class BugSearchResult:
     #: Non-None when the tool could not run the program at all (the
     #: Appendix B "Error" cells, e.g. GenMC's unsupported programs).
     error: str | None = None
+    #: Distinct online-sanitizer findings of the trial (when the tool ran
+    #: with a sanitizer stack attached).
+    sanitizer_reports: tuple["SanitizerReport", ...] = ()
 
 
 class TestingTool(ABC):
@@ -51,6 +58,10 @@ class TestingTool(ABC):
     #: Deterministic tools (model checkers, systematic explorers) need only
     #: one trial; the harness exploits this.
     deterministic: bool = False
+    #: Online sanitizer names attached per execution.  The campaign harness
+    #: sets this from ``CampaignConfig.sanitizers``; tools that do not
+    #: support sanitizers simply ignore it.
+    sanitizers: tuple[str, ...] = ()
 
     @abstractmethod
     def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
@@ -64,6 +75,7 @@ class TestingTool(ABC):
         executions: int,
         outcome: str | None = None,
         error: str | None = None,
+        sanitizer_reports: tuple["SanitizerReport", ...] = (),
     ) -> BugSearchResult:
         return BugSearchResult(
             tool=self.name,
@@ -74,6 +86,7 @@ class TestingTool(ABC):
             executions=executions,
             outcome=outcome,
             error=error,
+            sanitizer_reports=sanitizer_reports,
         )
 
 
@@ -89,10 +102,25 @@ class RffTool(TestingTool):
         self.name = name
 
     def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
-        fuzzer = RffFuzzer(program, seed=seed, config=self.config)
+        config = self.config
+        if self.sanitizers and not config.sanitizers:
+            config = replace(config, sanitizers=tuple(self.sanitizers))
+        fuzzer = RffFuzzer(program, seed=seed, config=config)
         report = fuzzer.run(budget, stop_on_first_crash=True)
-        outcome = report.crashes[0].outcome if report.crashes else None
-        return self._result(program, seed, report.first_crash_at, report.executions, outcome)
+        if report.crashes:
+            outcome = report.crashes[0].outcome
+        elif report.sanitizer_records:
+            outcome = f"sanitizer:{report.sanitizer_records[0].report.sanitizer}"
+        else:
+            outcome = None
+        return self._result(
+            program,
+            seed,
+            report.first_bug_at,
+            report.executions,
+            outcome,
+            sanitizer_reports=tuple(r.report for r in report.sanitizer_records),
+        )
 
 
 class PerExecutionPolicyTool(TestingTool):
@@ -110,12 +138,35 @@ class PerExecutionPolicyTool(TestingTool):
         rng = random.Random(seed)
         policy: SchedulerPolicy | None = self._make_policy(rng.randrange(2**63)) if self.persistent else None
         max_steps = _program_steps(program)
+        stack_builder = None
+        if self.sanitizers:
+            from repro.analysis.online import build_stack
+
+            stack_builder = build_stack
+        seen_keys: set[tuple] = set()
+        all_reports: list["SanitizerReport"] = []
         for index in range(1, budget + 1):
             current = policy if policy is not None else self._make_policy(rng.randrange(2**63))
-            result = Executor(program, current, max_steps=max_steps).run()
+            stack = stack_builder(self.sanitizers) if stack_builder else None
+            result = Executor(program, current, max_steps=max_steps, sanitizers=stack).run()
+            new_reports = [
+                r for r in result.sanitizer_reports if r.dedup_key not in seen_keys
+            ]
+            for report in new_reports:
+                seen_keys.add(report.dedup_key)
+                all_reports.append(report)
             if result.crashed:
-                return self._result(program, seed, index, index, result.outcome)
-        return self._result(program, seed, None, budget)
+                return self._result(
+                    program, seed, index, index, result.outcome,
+                    sanitizer_reports=tuple(all_reports),
+                )
+            if new_reports:
+                return self._result(
+                    program, seed, index, index,
+                    f"sanitizer:{new_reports[0].sanitizer}",
+                    sanitizer_reports=tuple(all_reports),
+                )
+        return self._result(program, seed, None, budget, sanitizer_reports=tuple(all_reports))
 
 
 def pos_tool() -> PerExecutionPolicyTool:

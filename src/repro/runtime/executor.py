@@ -11,8 +11,8 @@ stable feedback signal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Generator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Iterable
 
 from repro.core.events import AbstractEvent, Event
 from repro.core.trace import Trace
@@ -29,6 +29,7 @@ from repro.runtime.objects import Barrier, CondVar, Mutex
 from repro.runtime.thread import ThreadHandle, ThreadState, ThreadStatus
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.online import Sanitizer, SanitizerReport
     from repro.runtime.program import Program
     from repro.schedulers.base import SchedulerPolicy
 
@@ -79,6 +80,9 @@ class ExecutionResult:
     steps: int
     #: True when the step bound was hit before all threads finished.
     truncated: bool = False
+    #: Findings of the execution's online sanitizer stack (empty when none
+    #: was attached).
+    sanitizer_reports: list["SanitizerReport"] = field(default_factory=list)
 
     @property
     def crashed(self) -> bool:
@@ -149,10 +153,13 @@ class Executor:
         program: "Program",
         policy: "SchedulerPolicy",
         max_steps: int = DEFAULT_MAX_STEPS,
+        sanitizers: Iterable["Sanitizer"] | None = None,
     ):
         self.program = program
         self.policy = policy
         self.max_steps = max_steps
+        #: Online sanitizer stack, driven by :meth:`_record` as events land.
+        self.sanitizers: tuple["Sanitizer", ...] = tuple(sanitizers or ())
         self.api = Api()
         self.threads: list[ThreadState] = []
         self.trace = Trace()
@@ -191,6 +198,8 @@ class Executor:
         main_gen = self.program.main(self.api)
         main_thread = ThreadState(0, "main", main_gen)
         self.threads.append(main_thread)
+        for sanitizer in self.sanitizers:
+            sanitizer.on_thread_start(0, None)
         truncated = False
         self.policy.begin(self)
         try:
@@ -213,12 +222,20 @@ class Executor:
         except RuntimeViolation as violation:
             self.trace.outcome = violation.kind
             self.trace.failure = str(violation)
+        reports: list["SanitizerReport"] = []
+        for sanitizer in self.sanitizers:
+            reports.extend(sanitizer.finish())
         result = ExecutionResult(
-            trace=self.trace, schedule=self.schedule, steps=self.step_index, truncated=truncated
+            trace=self.trace,
+            schedule=self.schedule,
+            steps=self.step_index,
+            truncated=truncated,
+            sanitizer_reports=reports,
         )
         counters = _global_counters()
         counters.executions += 1
         counters.steps += self.step_index
+        counters.sanitizer_reports += len(reports)
         self.policy.end(result, self)
         return result
 
@@ -286,8 +303,7 @@ class Executor:
             value=value,
             aux=aux,
         )
-        self.trace.events.append(event)
-        self.schedule.append(thread.tid)
+        self._record(event)
         thread.step_count += 1
         if self._writes(op, value):
             self._last_write[location] = eid
@@ -299,6 +315,13 @@ class Executor:
             thread.pending_is_reacquire = False
             self._advance(thread, None if was_reacquire else resume)
         return event
+
+    def _record(self, event: Event) -> None:
+        """Append ``event`` to the trace/schedule and stream it to sanitizers."""
+        self.trace.events.append(event)
+        self.schedule.append(event.tid)
+        for sanitizer in self.sanitizers:
+            sanitizer.on_event(event)
 
     def _writes(self, op: ops.Op, value: Any) -> bool:
         """Whether the executed op performed a write for reads-from purposes."""
@@ -368,7 +391,7 @@ class Executor:
             rf = self.last_write_eid(location)
             advance_now = self._arrive(thread, op.barrier)
         elif isinstance(op, ops.SpawnOp):
-            resume = self._spawn(op)
+            resume = self._spawn(op, thread.tid)
             return None, f"spawned T{resume.tid}", resume, True, resume.tid
         elif isinstance(op, ops.JoinOp):
             value = f"joined T{op.handle.tid}"
@@ -446,7 +469,7 @@ class Executor:
             self._advance(waiter, None)
         return True
 
-    def _spawn(self, op: ops.SpawnOp) -> ThreadHandle:
+    def _spawn(self, op: ops.SpawnOp, parent_tid: int) -> ThreadHandle:
         tid = len(self.threads)
         name = op.name or getattr(op.fn, "__name__", f"thread{tid}")
         gen = op.fn(self.api, *op.args)
@@ -454,6 +477,8 @@ class Executor:
             raise ProgramError(f"spawned function {name!r} is not a generator")
         thread = ThreadState(tid, name, gen)
         self.threads.append(thread)
+        for sanitizer in self.sanitizers:
+            sanitizer.on_thread_start(tid, parent_tid)
         self._advance(thread, None)
         return ThreadHandle(thread)
 
@@ -473,6 +498,8 @@ class Executor:
             thread.status = ThreadStatus.FINISHED
             thread.pending = None
             thread.cached_candidate = None
+            for sanitizer in self.sanitizers:
+                sanitizer.on_thread_exit(thread.tid)
             return
         if not isinstance(op, ops.Op):
             raise ProgramError(f"thread {thread.name!r} yielded non-operation {op!r}")
@@ -481,9 +508,14 @@ class Executor:
         thread.cached_candidate = None
 
 
-def run_program(program: "Program", policy: "SchedulerPolicy", max_steps: int = DEFAULT_MAX_STEPS) -> ExecutionResult:
+def run_program(
+    program: "Program",
+    policy: "SchedulerPolicy",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    sanitizers: Iterable["Sanitizer"] | None = None,
+) -> ExecutionResult:
     """Convenience wrapper: one execution of ``program`` under ``policy``."""
-    return Executor(program, policy, max_steps=max_steps).run()
+    return Executor(program, policy, max_steps=max_steps, sanitizers=sanitizers).run()
 
 
 #: Public alias: scheduler policies use this to inspect blocked threads'

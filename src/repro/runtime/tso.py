@@ -131,8 +131,7 @@ class TsoExecutor(Executor):
             value=store.value,
             aux=store.write_eid,
         )
-        self.trace.events.append(event)
-        self.schedule.append(tid)
+        self._record(event)
         if notify:
             self.policy.notify(event, self)
         return event

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.events import AbstractEvent, Event
 from repro.core.trace import Trace
 from repro.runtime import run_program
@@ -80,6 +82,62 @@ class TestTraceReadsFrom:
 
     def test_event_by_id(self):
         assert self.trace().event_by_id(3).tid == 2
+
+
+class TestSlicedTraces:
+    """Minimized/sliced traces keep their original (now sparse) event ids."""
+
+    def sliced(self):
+        # A ddmin-style subsequence: events 2 and 4 of the dense trace were
+        # dropped, survivors keep their original eids.
+        return Trace(
+            events=[
+                ev(1, 0, "w", loc="main:1"),
+                ev(3, 1, "r", loc="worker:1", rf=1),
+                ev(5, 1, "r", loc="worker:2", rf=4),
+                ev(6, 1, "r", loc="worker:3", rf=0),
+            ]
+        )
+
+    def test_event_by_id_on_sparse_ids(self):
+        trace = self.sliced()
+        assert trace.event_by_id(1).tid == 0
+        assert trace.event_by_id(3).loc == "worker:1"
+        assert trace.event_by_id(5).loc == "worker:2"
+
+    def test_event_by_id_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.sliced().event_by_id(2)
+        with pytest.raises(KeyError):
+            self.sliced().event_by_id(99)
+
+    def test_rf_pairs_skip_dropped_writers(self):
+        pairs = self.sliced().rf_pairs()
+        # Event 5 read from the dropped event 4: no witnessed pair.
+        assert pairs == {
+            (AbstractEvent("w", "var:x", "main:1"), AbstractEvent("r", "var:x", "worker:1")),
+            (None, AbstractEvent("r", "var:x", "worker:3")),
+        }
+
+    def test_rf_signature_usable_on_slice(self):
+        signature = self.sliced().rf_signature()
+        assert isinstance(signature, frozenset)
+        assert len(signature) == 2
+
+    def test_index_rebuilt_after_mutation(self):
+        trace = self.sliced()
+        trace.event_by_id(3)  # build the index
+        trace.events.append(ev(9, 2, "w", loc="main:2"))
+        assert trace.event_by_id(9).loc == "main:2"
+
+    def test_ddmin_reduced_trace_keeps_rf_machinery(self, reorder3):
+        result = run_program(reorder3, RandomWalkPolicy(0))
+        full = result.trace
+        # Slice out every other event, as a minimizer would.
+        reduced = Trace(events=full.events[::2])
+        assert reduced.rf_pairs() <= full.rf_pairs()
+        for event in reduced.events:
+            assert reduced.event_by_id(event.eid) is event
 
 
 class TestRfEquivalence:

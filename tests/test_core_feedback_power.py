@@ -103,6 +103,31 @@ class TestPowerSchedule:
         entry.new_pairs = 8
         assert power.energy(entry, corpus, feedback) == 8
 
+    def test_huge_exponent_does_not_overflow(self):
+        # chosen_since_skip grows unboundedly while an entry keeps being
+        # picked; 2.0 ** s raises OverflowError past s ~ 1024 without the
+        # short-circuit to max_energy.
+        corpus, feedback = self._setup([1, 1])
+        power = PowerSchedule(beta=2.0, max_energy=64)
+        entry = corpus.entries[0]
+        for s in (1024, 5000, 10**9):
+            entry.chosen_since_skip = s
+            assert power.energy(entry, corpus, feedback) == 64
+
+    def test_clamp_kicks_in_exactly_at_cutoff(self):
+        corpus, feedback = self._setup([1, 1])
+        power = PowerSchedule(beta=1.0, max_energy=16)
+        entry = corpus.entries[0]
+        # Energy is monotone in s and saturates at max_energy.
+        previous = 0
+        for s in range(0, 40):
+            entry.chosen_since_skip = s
+            energy = power.energy(entry, corpus, feedback)
+            assert energy >= previous
+            assert energy <= 16
+            previous = energy
+        assert previous == 16
+
     def test_hyperparameter_validation(self):
         with pytest.raises(ValueError):
             PowerSchedule(beta=0)

@@ -79,6 +79,42 @@ class TestDeterminism:
             ParallelCampaign(CONFIG).run(["NotATool"], PROGRAMS)
 
 
+class TestSanitizerDeterminism:
+    SANITIZED = CampaignConfig(
+        trials=2, budget=120, base_seed=7, sanitizers=("race", "lockset", "lockorder")
+    )
+
+    def _serial(self):
+        tools = [RffTool(), pos_tool(), PeriodTool()]
+        return Campaign(self.SANITIZED).run(tools, [bench.get(p) for p in PROGRAMS])
+
+    def test_parallel_reports_bit_identical_to_serial(self):
+        serial = self._serial()
+        parallel = ParallelCampaign(self.SANITIZED, processes=2).run(TOOLS, PROGRAMS)
+        assert parallel == serial
+        # The equality above covers sanitizer_reports (dataclass field), but
+        # assert the payload is actually exercised: at least one cell found
+        # a discipline violation on the racy account benchmark.
+        found = [
+            report
+            for (_, program), trials in serial.results.items()
+            for result in trials
+            for report in result.sanitizer_reports
+            if program == "CS/account"
+        ]
+        assert found
+
+    def test_telemetry_carries_sanitizer_reports(self):
+        telemetry = TelemetryAggregator()
+        ParallelCampaign(self.SANITIZED, processes=0, telemetry=telemetry).run(
+            TOOLS, PROGRAMS
+        )
+        records = telemetry.of_type("sanitizer_report")
+        assert records
+        assert {r["sanitizer"] for r in records} <= {"race", "lockset", "lockorder"}
+        assert telemetry.sanitizer_report_count == len(records)
+
+
 class TestFaultTolerance:
     def test_worker_crash_retried_bit_identical(self, serial, fault_env):
         """A hard-killed worker (os._exit, the SIGKILL model) costs one

@@ -124,6 +124,7 @@ class TestValidateRecord:
             "worker_start",
             "worker_exit",
             "pool_degraded",
+            "sanitizer_report",
             "checkpoint",
             "campaign_end",
         }
@@ -149,6 +150,7 @@ class TestCounters:
             "steps": 2,
             "crashes": 3,
             "corpus_adds": 4,
+            "sanitizer_reports": 0,
         }
         counters.reset()
         assert counters == Counters()
