@@ -1,0 +1,80 @@
+"""Bench: runtime guardrail overhead (executor steps/sec, off vs on).
+
+The guard checks run inline on every scheduler step: the step-budget and
+wall-clock watchdogs are integer compares, the livelock detector hashes a
+small event fingerprint into a rolling window.  This bench measures
+executor throughput unguarded and with all three guardrails armed (with
+budgets generous enough never to trip), writes ``results/BENCH_guard.json``
+and asserts the full guard stays within a 1.15x slowdown — watchdogs are
+meant to be always-on in campaigns, so they must be near-free.
+
+Plain ``time.perf_counter`` loops (not pytest-benchmark) so the numbers
+are produced on every run, including CI's plain ``pytest`` invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import bench
+from repro.runtime.executor import Executor
+from repro.runtime.guard import GuardConfig
+from repro.schedulers.pos import PosPolicy
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: (subject, executions per sample) — one tiny hot program, one long one.
+SUBJECTS = [("CS/account", 60), ("CS/reorder_100", 15)]
+MAX_OVERHEAD = 1.15
+#: Generous budgets: the guard is armed but never trips, so the timed
+#: loops measure pure per-step bookkeeping cost.
+GUARD = GuardConfig(step_budget=10_000_000, wall_seconds=3600.0, livelock_window=100_000)
+
+
+def _sample(program, executions: int, guard: GuardConfig | None) -> tuple[int, float]:
+    """Total executor steps and wall seconds over ``executions`` runs."""
+    steps = 0
+    start = time.perf_counter()
+    for seed in range(executions):
+        result = Executor(
+            program,
+            PosPolicy(seed),
+            max_steps=program.max_steps or 20000,
+            guard=guard,
+        ).run()
+        steps += result.steps
+    return steps, time.perf_counter() - start
+
+
+def test_guard_overhead_within_budget():
+    payload = {"max_overhead": MAX_OVERHEAD, "guard": GUARD.as_tuple(), "subjects": {}}
+    worst = 0.0
+    for name, executions in SUBJECTS:
+        program = bench.get(name)
+        # Warm caches so the first-import cost lands outside the timed loops.
+        _sample(program, 2, GUARD)
+        base_steps, base_wall = _sample(program, executions, None)
+        guard_steps, guard_wall = _sample(program, executions, GUARD)
+        # Same seeds, same policy, untripped guard: the guarded runs execute
+        # the same schedules, so steps/sec is directly comparable.
+        assert guard_steps == base_steps
+        base_rate = base_steps / base_wall
+        guard_rate = guard_steps / guard_wall
+        overhead = base_rate / guard_rate
+        worst = max(worst, overhead)
+        payload["subjects"][name] = {
+            "executions": executions,
+            "steps": base_steps,
+            "steps_per_sec_off": round(base_rate, 1),
+            "steps_per_sec_on": round(guard_rate, 1),
+            "overhead": round(overhead, 3),
+        }
+    payload["worst_overhead"] = round(worst, 3)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_guard.json").write_text(json.dumps(payload, indent=2) + "\n")
+    assert worst <= MAX_OVERHEAD, (
+        f"runtime guard costs {worst:.2f}x executor throughput "
+        f"(budget {MAX_OVERHEAD}x); see results/BENCH_guard.json"
+    )

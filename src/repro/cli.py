@@ -48,6 +48,33 @@ def _parse_sanitizers(spec: str | None) -> tuple[str, ...]:
         raise SystemExit(str(exc)) from None
 
 
+def _add_guard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--watchdog-steps", type=int, metavar="N",
+                        help="deterministic step-budget watchdog: kill an execution "
+                             "after N events and report it as a 'timeout' bug")
+    parser.add_argument("--watchdog-seconds", type=float, metavar="S",
+                        help="best-effort wall-clock watchdog per execution")
+    parser.add_argument("--livelock-window", type=int, metavar="N",
+                        help="report a 'livelock' bug after N consecutive steps "
+                             "without any novel event")
+
+
+def _parse_guard(args: argparse.Namespace):
+    if (
+        args.watchdog_steps is None
+        and args.watchdog_seconds is None
+        and args.livelock_window is None
+    ):
+        return None
+    from repro.runtime.guard import GuardConfig
+
+    return GuardConfig(
+        step_budget=args.watchdog_steps,
+        wall_seconds=args.watchdog_seconds,
+        livelock_window=args.livelock_window,
+    )
+
+
 def _make_tool(name: str):
     factories = {
         "RFF": RffTool,
@@ -81,6 +108,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         use_constraints=not args.no_constraints,
         memory_model=args.memory_model,
         sanitizers=_parse_sanitizers(args.sanitize),
+        guard=_parse_guard(args),
     )
     report = fuzz(
         prog,
@@ -150,12 +178,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     prog = bench.get(args.program)
     tool = _make_tool(args.tool)
     tool.sanitizers = _parse_sanitizers(args.sanitize)
+    tool.guard = _parse_guard(args)
+    tool.verify_replays = args.verify_replays
     result = tool.find_bug(prog, budget=args.budget, seed=args.seed)
     if result.error:
         print(f"{tool.name} on {prog.name}: Error ({result.error})")
         return 2
     status = f"bug ({result.outcome}) at schedule {result.schedules_to_bug}" if result.found else "no bug"
     print(f"{tool.name} on {prog.name}: {status} after {result.executions} schedules")
+    if result.bucket is not None:
+        verdict = result.replay_verdict or "unverified"
+        print(f"  triage bucket: {result.bucket} ({verdict})")
     for report in result.sanitizer_reports:
         print(f"  {report}")
     return 0
@@ -166,7 +199,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     tool_names = list(args.tools) if args.tools else [t.name for t in paper_tools()]
     sanitizers = _parse_sanitizers(args.sanitize)
     config = CampaignConfig(
-        trials=args.trials, budget=args.budget, base_seed=args.seed, sanitizers=sanitizers
+        trials=args.trials,
+        budget=args.budget,
+        base_seed=args.seed,
+        sanitizers=sanitizers,
+        verify_replays=args.verify_replays,
+        guard=_parse_guard(args),
     )
     use_engine = (
         args.parallel is not None
@@ -212,6 +250,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
             print()
             print(sanitizer_summary(result))
+        if args.verify_replays:
+            from repro.harness.reporting import reproduction_summary
+
+            print()
+            print(reproduction_summary(result))
         return 0
     programs = [bench.get(n) for n in program_names]
     tools = [_make_tool(n) for n in tool_names]
@@ -229,6 +272,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         print()
         print(sanitizer_summary(result))
+    if args.verify_replays:
+        from repro.harness.reporting import reproduction_summary
+
+        print()
+        print(reproduction_summary(result))
     return 0
 
 
@@ -251,14 +299,78 @@ def _cmd_dpor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_triage(args: argparse.Namespace) -> int:
+    """Fuzz keep-going, then bucket + replay-verify every finding."""
+    from repro.core.fuzzer import RffFuzzer
+    from repro.harness.triage import triage_report, write_artifacts
+
+    prog = bench.get(args.program)
+    config = RffConfig(
+        memory_model=args.memory_model,
+        sanitizers=_parse_sanitizers(args.sanitize),
+        guard=_parse_guard(args),
+    )
+    fuzzer = RffFuzzer(prog, seed=args.seed, config=config)
+    report = fuzzer.run(args.budget, stop_on_first_crash=False)
+    result = triage_report(
+        prog, report, replays=args.replays, config=config, minimize=args.minimize
+    )
+    print(f"schedules executed: {report.executions}")
+    print(result.summary())
+    if args.artifacts:
+        written = write_artifacts(result, args.artifacts, config)
+        print(f"wrote {len(written)} STABLE repro artifact(s) under {args.artifacts}")
+        for path in written:
+            print(f"  {path}")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
-    """Replay a persisted crash JSON file and print its trace."""
-    from repro.harness.persist import load_crash
+    """Replay a persisted crash file or repro artifact; optionally verify."""
+    from repro.harness.persist import load_json
     from repro.runtime import run_program
     from repro.schedulers import ReplayPolicy
 
-    program_name, crash = load_crash(args.file)
+    raw = load_json(args.file)
+    if isinstance(raw, dict) and raw.get("artifact") == "rff-repro":
+        from repro.harness.persist import ChecksumError
+        from repro.harness.triage import load_artifact, verify_artifact
+
+        try:
+            payload = load_artifact(args.file)  # re-read with checksum check
+        except (ChecksumError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"program:  {payload['program']}")
+        print(f"bucket:   {payload['bucket']}")
+        print(f"expected: {payload.get('outcome')} — {payload.get('failure')}")
+        replays = args.replays if args.verify else 1
+        verdict = verify_artifact(payload, replays=replays)
+        for index, run in enumerate(verdict.runs, start=1):
+            diverged = f", diverged at step {run.diverged}" if run.diverged is not None else ""
+            print(f"replay {index}: {run.outcome} ({run.steps} steps{diverged})")
+        if args.verify:
+            print(f"verdict:  {verdict.verdict} ({verdict.matches}/{verdict.replays} matched)")
+            return 0 if verdict.stable else 1
+        return 0 if verdict.runs[0].matched else 1
+
+    from repro.harness.persist import crash_from_dict
+
+    program_name, crash = raw["program"], crash_from_dict(raw)
     prog = bench.get(program_name)
+    if args.verify:
+        from repro.core.reproduce import bucket_id, verify_replay
+        from repro.harness.triage import crash_bucket_key
+
+        key = crash.dedup_key or crash_bucket_key(prog, crash)
+        verdict = verify_replay(
+            prog, crash.concrete_schedule, crash.outcome, key, replays=args.replays
+        )
+        print(f"program:  {program_name}")
+        print(f"expected: {crash.outcome} — {crash.failure}")
+        print(f"bucket:   {bucket_id(key)}")
+        print(f"verdict:  {verdict.verdict} ({verdict.matches}/{verdict.replays} matched)")
+        return 0 if verdict.stable else 1
     result = run_program(prog, ReplayPolicy(list(crash.concrete_schedule)))
     print(f"program:  {program_name}")
     print(f"expected: {crash.outcome} — {crash.failure}")
@@ -303,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--sanitize", metavar="LIST",
                         help="online sanitizers per execution: comma-separated subset of "
                              "race,lockset,lockorder (or 'all')")
+    _add_guard_flags(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_analyze = sub.add_parser("analyze", help="dynamic trace analyses (races, locks)")
@@ -319,6 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", metavar="LIST",
                        help="online sanitizers per execution: comma-separated subset of "
                             "race,lockset,lockorder (or 'all')")
+    p_run.add_argument("--verify-replays", type=int, default=0, metavar="N",
+                       help="replay a found bug N times and report STABLE/FLAKY")
+    _add_guard_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_campaign = sub.add_parser("campaign", help="run a tools x programs x trials campaign")
@@ -344,7 +460,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--sanitize", metavar="LIST",
                             help="attach online sanitizers to every tool: comma-separated "
                                  "subset of race,lockset,lockorder (or 'all')")
+    p_campaign.add_argument("--verify-replays", type=int, default=0, metavar="N",
+                            help="replay every found bug N times; FLAKY bugs are "
+                                 "quarantined in the reproduction ledger")
+    _add_guard_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_triage = sub.add_parser(
+        "triage", help="fuzz keep-going, bucket findings, verify reproducers"
+    )
+    p_triage.add_argument("program")
+    p_triage.add_argument("--budget", type=int, default=1000)
+    p_triage.add_argument("--seed", type=int, default=0)
+    p_triage.add_argument("--replays", type=int, default=5,
+                          help="verification replays per bug bucket (default 5)")
+    p_triage.add_argument("--minimize", action="store_true",
+                          help="shrink each reproducer with bucket-constrained ddmin")
+    p_triage.add_argument("--artifacts", metavar="DIR",
+                          help="write checksummed repro artifacts for STABLE bugs")
+    p_triage.add_argument("--memory-model", choices=("sc", "tso"), default="sc")
+    p_triage.add_argument("--sanitize", metavar="LIST",
+                          help="online sanitizers per execution: comma-separated subset "
+                               "of race,lockset,lockorder (or 'all')")
+    _add_guard_flags(p_triage)
+    p_triage.set_defaults(func=_cmd_triage)
 
     p_dpor = sub.add_parser("dpor", help="race-reversal rf-DPOR exploration")
     p_dpor.add_argument("program")
@@ -353,10 +492,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keep exploring after the first bug")
     p_dpor.set_defaults(func=_cmd_dpor)
 
-    p_replay = sub.add_parser("replay", help="replay a persisted crash JSON file")
+    p_replay = sub.add_parser(
+        "replay", help="replay a persisted crash file or repro artifact"
+    )
     p_replay.add_argument("file")
     p_replay.add_argument("--trace", type=int, metavar="N", default=0,
                           help="print the first N trace events")
+    p_replay.add_argument("--verify", action="store_true",
+                          help="replay N times and report a STABLE/FLAKY verdict "
+                               "(exit 0 only for STABLE)")
+    p_replay.add_argument("--replays", type=int, default=5, metavar="N",
+                          help="replays for --verify (default 5)")
     p_replay.set_defaults(func=_cmd_replay)
 
     p_fig5 = sub.add_parser("figure5", help="rf-distribution histograms (RQ3)")

@@ -29,8 +29,10 @@ from repro.core.feedback import RfFeedback
 from repro.core.mutation import EventPool, ScheduleMutator
 from repro.core.power import FlatSchedule, PowerSchedule
 from repro.core.proactive import RffSchedulerPolicy
+from repro.core.reproduce import dedup_key, failure_frames
 from repro.core.trace import RfPair
 from repro.runtime.executor import DEFAULT_MAX_STEPS, ExecutionResult, Executor
+from repro.runtime.guard import GuardConfig
 from repro.runtime.program import Program
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.pos import PosPolicy
@@ -70,6 +72,10 @@ class RffConfig:
     #: ``repro.analysis.online.SANITIZERS``, e.g. ``("race", "lockset")``).
     #: Sanitizer findings count as bugs and feed isInteresting like crashes.
     sanitizers: tuple[str, ...] = ()
+    #: Runtime guardrails attached to every execution (step budget, wall
+    #: clock, livelock detector); None = unguarded.  Watchdog kills surface
+    #: as ``timeout``/``livelock`` crashes and are triaged like any bug.
+    guard: GuardConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,12 @@ class CrashRecord:
     failure: str
     abstract_schedule: AbstractSchedule
     concrete_schedule: tuple[int, ...]
+    #: Triage bucket signature (kind, frame hash, rf hash); see
+    #: :func:`repro.core.reproduce.dedup_key`.  None on records loaded from
+    #: files written before triage existed.
+    dedup_key: tuple[str, str, str] | None = None
+    #: Program frames (``function:line``) where the failure manifested.
+    frames: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -203,6 +215,7 @@ class RffFuzzer:
             policy,
             max_steps=self._max_steps(),
             sanitizers=self._sanitizer_stack(),
+            guard=self.config.guard,
         ).run()
         return result, policy
 
@@ -270,6 +283,8 @@ class RffFuzzer:
                     failure=result.trace.failure or "",
                     abstract_schedule=mutant,
                     concrete_schedule=tuple(result.schedule),
+                    dedup_key=dedup_key(result),
+                    frames=failure_frames(result),
                 )
             )
         new_reports = [

@@ -1,0 +1,208 @@
+"""Bug identity and replay verification: the reproduction layer of triage.
+
+A long campaign produces thousands of crashing executions of a handful of
+underlying bugs.  Two facilities turn that pile into verified findings:
+
+* **dedup keys** — :func:`dedup_key` summarises a crashing execution as
+  ``(violation kind, frame hash, rf hash)``: the bug taxonomy kind, a hash
+  of the stable ``function:line`` failure frames, and a hash of the
+  abstract reads-from pairs observed *at those frames*.  All three
+  components are execution-independent (no event ids, no schedule
+  positions), so the same bug found through different interleavings folds
+  into one bucket while distinct bugs at the same program point split on
+  the rf component.
+* **replay verification** — :func:`verify_replay` re-executes a recorded
+  concrete schedule N times and demands the identical outcome, dedup key
+  and zero divergence on every run.  Only then is a bug ``STABLE`` and
+  worth shipping as a reproducer; anything else is ``FLAKY`` and must be
+  quarantined, never reported as reproduced (rr's record-and-replay lesson:
+  divergence detection is the hard part that must be engineered).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.runtime.executor import DEFAULT_MAX_STEPS, ExecutionResult, Executor
+from repro.schedulers.replay import ReplayPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.analysis.online import SanitizerReport
+    from repro.runtime.guard import GuardConfig
+    from repro.runtime.program import Program
+
+#: Replay verdicts.
+STABLE = "STABLE"
+FLAKY = "FLAKY"
+
+#: (violation kind, frame hash, rf hash) — the triage bucket signature.
+DedupKey = tuple[str, str, str]
+
+
+def _short_hash(parts: Iterable[str]) -> str:
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+def failure_frames(result: ExecutionResult) -> tuple[str, ...]:
+    """The stable frames of a crashing execution, with a last-event fallback."""
+    frames = tuple(result.failure_frames)
+    if not frames and result.trace.events:
+        frames = (result.trace.events[-1].loc,)
+    return frames
+
+
+def dedup_key(result: ExecutionResult) -> DedupKey:
+    """Execution-independent identity of a crashing execution's bug.
+
+    ``(kind, frame hash, rf hash)``: the rf component hashes the abstract
+    reads-from pairs whose reader executed at one of the failure frames, so
+    two different bugs crashing at the same program point (e.g. reading two
+    different stale variables) still split into separate buckets.
+    """
+    kind = result.outcome or "none"
+    frames = failure_frames(result)
+    frame_hash = _short_hash(frames)
+    frame_locs = set(frames)
+    pairs = sorted(
+        str(pair) for pair in result.trace.rf_pairs() if pair[1].loc in frame_locs
+    )
+    return (kind, frame_hash, _short_hash(pairs))
+
+
+def sanitizer_key(report: "SanitizerReport") -> DedupKey:
+    """A sanitizer finding's identity in the same triage signature shape."""
+    return (f"sanitizer:{report.sanitizer}", report.kind, _short_hash(report.pair))
+
+
+def bucket_id(key: DedupKey) -> str:
+    """Human-grep-able short bucket name, e.g. ``assertion-4f1a09c2b3d4``."""
+    return f"{key[0]}-{_short_hash(key)}"
+
+
+def same_bucket(expected_key: DedupKey) -> Callable[[ExecutionResult], bool]:
+    """Predicate: the execution crashed *into the given bucket* (not merely
+    crashed) — the invariant schedule minimization must preserve."""
+
+    def predicate(result: ExecutionResult) -> bool:
+        return result.crashed and dedup_key(result) == expected_key
+
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# Replay verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplayRun:
+    """One replay execution's observation, compared against expectations."""
+
+    outcome: str | None
+    key: DedupKey | None
+    diverged: int | None
+    steps: int
+    matched: bool
+
+
+@dataclass(frozen=True)
+class ReplayVerdict:
+    """Aggregate of N replay runs of one recorded bug."""
+
+    verdict: str
+    replays: int
+    matches: int
+    expected_outcome: str | None
+    expected_key: DedupKey | None
+    runs: tuple[ReplayRun, ...]
+
+    @property
+    def stable(self) -> bool:
+        return self.verdict == STABLE
+
+    @property
+    def first_divergence(self) -> int | None:
+        """Earliest divergence step across all replay runs (None = exact)."""
+        points = [run.diverged for run in self.runs if run.diverged is not None]
+        return min(points) if points else None
+
+
+def verify_replay(
+    program: "Program",
+    schedule: Sequence[int],
+    expected_outcome: str | None,
+    expected_key: DedupKey | None = None,
+    *,
+    replays: int = 5,
+    max_steps: int | None = None,
+    sanitizers: tuple[str, ...] = (),
+    expected_sanitizer_key: tuple | None = None,
+    executor_class: type[Executor] | None = None,
+    guard: "GuardConfig | None" = None,
+) -> ReplayVerdict:
+    """Re-execute ``schedule`` ``replays`` times and classify STABLE/FLAKY.
+
+    A replay *matches* when it follows the recorded schedule without
+    divergence and reproduces the expected outcome and dedup key (for
+    sanitizer findings: a report with ``expected_sanitizer_key`` appears).
+    STABLE requires every replay to match; anything less is FLAKY.
+
+    ``guard``, ``sanitizers``, ``max_steps`` and ``executor_class`` must
+    mirror the configuration of the execution that found the bug — replay
+    fidelity includes the runtime environment, not just the schedule.
+    """
+    if replays < 1:
+        raise ValueError(f"replays must be >= 1, got {replays}")
+    cls = executor_class or Executor
+    steps = max_steps or program.max_steps or DEFAULT_MAX_STEPS
+    stack_builder = None
+    if sanitizers:
+        from repro.analysis.online import build_stack
+
+        stack_builder = build_stack
+    runs: list[ReplayRun] = []
+    for _ in range(replays):
+        stack = stack_builder(sanitizers) if stack_builder else None
+        result = cls(
+            program,
+            ReplayPolicy(list(schedule)),
+            max_steps=steps,
+            sanitizers=stack,
+            guard=guard,
+        ).run()
+        followed = result.diverged is None
+        if expected_sanitizer_key is not None:
+            key = None
+            matched = followed and any(
+                report.dedup_key == expected_sanitizer_key
+                for report in result.sanitizer_reports
+            )
+        else:
+            key = dedup_key(result) if result.crashed else None
+            matched = (
+                followed
+                and result.outcome == expected_outcome
+                and (expected_key is None or key == expected_key)
+            )
+        runs.append(
+            ReplayRun(
+                outcome=result.outcome,
+                key=key,
+                diverged=result.diverged,
+                steps=result.steps,
+                matched=matched,
+            )
+        )
+    matches = sum(1 for run in runs if run.matched)
+    from repro.harness.telemetry import GLOBAL_COUNTERS
+
+    GLOBAL_COUNTERS.replays += len(runs)
+    return ReplayVerdict(
+        verdict=STABLE if matches == len(runs) else FLAKY,
+        replays=len(runs),
+        matches=matches,
+        expected_outcome=expected_outcome,
+        expected_key=expected_key,
+        runs=tuple(runs),
+    )

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.harness.stats import SummaryCell, summarize
 from repro.harness.tools import BugSearchResult, TestingTool
+from repro.runtime.guard import GuardConfig
 from repro.runtime.program import Program
 
 
@@ -29,6 +30,10 @@ class CampaignConfig:
     #: Online sanitizer names to attach to every tool (see
     #: ``repro.analysis.online.SANITIZERS``); empty = crash oracle only.
     sanitizers: tuple[str, ...] = ()
+    #: Replays per found bug for STABLE/FLAKY verification (0 = off).
+    verify_replays: int = 0
+    #: Runtime guardrails attached to every execution (None = unguarded).
+    guard: GuardConfig | None = None
 
     def budget_for(self, program_name: str) -> int:
         return self.budget_overrides.get(program_name, self.budget)
@@ -115,6 +120,10 @@ class Campaign:
         for tool in tools:
             if self.config.sanitizers:
                 tool.sanitizers = tuple(self.config.sanitizers)
+            if self.config.verify_replays:
+                tool.verify_replays = self.config.verify_replays
+            if self.config.guard is not None:
+                tool.guard = self.config.guard
             trials = 1 if tool.deterministic else self.config.trials
             for program in programs:
                 budget = self.config.budget_for(program.name)

@@ -79,6 +79,12 @@ class CellSpec:
     fault_hook: str | None = None
     #: Online sanitizer names attached to the tool inside the worker.
     sanitizers: tuple[str, ...] = ()
+    #: Replays per found bug for STABLE/FLAKY verification (0 = off).
+    verify_replays: int = 0
+    #: Guardrail identity triple (step budget, wall seconds, livelock
+    #: window) reconstructed into a GuardConfig inside the worker; carried
+    #: as a plain tuple so specs stay trivially picklable and comparable.
+    guard: tuple | None = None
 
     @property
     def key(self) -> tuple[str, str, int]:
@@ -184,6 +190,17 @@ def _run_cell(spec: CellSpec) -> CellOutcome:
     tool = resolve_ref(spec.factory_ref)()
     if spec.sanitizers:
         tool.sanitizers = tuple(spec.sanitizers)
+    if spec.verify_replays:
+        tool.verify_replays = spec.verify_replays
+    if spec.guard is not None:
+        from repro.runtime.guard import GuardConfig
+
+        step_budget, wall_seconds, livelock_window = spec.guard
+        tool.guard = GuardConfig(
+            step_budget=step_budget,
+            wall_seconds=wall_seconds,
+            livelock_window=livelock_window,
+        )
     program = bench.get(spec.program)
     before = GLOBAL_COUNTERS.snapshot()
     start = time.perf_counter()
@@ -319,6 +336,12 @@ class ParallelCampaign:
                             factory_ref=ref,
                             fault_hook=self.fault_hook,
                             sanitizers=tuple(self.config.sanitizers),
+                            verify_replays=self.config.verify_replays,
+                            guard=(
+                                self.config.guard.as_tuple()
+                                if self.config.guard is not None
+                                else None
+                            ),
                         )
                     )
         return specs, deterministic
@@ -339,6 +362,10 @@ class ParallelCampaign:
             "tools": list(tool_names),
             "programs": list(program_names),
             "sanitizers": list(self.config.sanitizers),
+            "verify_replays": self.config.verify_replays,
+            "guard": (
+                list(self.config.guard.as_tuple()) if self.config.guard is not None else None
+            ),
         }
 
     def _load_checkpoint(

@@ -8,6 +8,7 @@ record round-trips into a ReplayPolicy run that reproduces the failure.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -117,22 +118,29 @@ def schedule_from_dict(data: list[dict[str, Any]]) -> AbstractSchedule:
 # Crash records / fuzz reports
 # ----------------------------------------------------------------------
 def crash_to_dict(crash: CrashRecord) -> dict[str, Any]:
-    return {
+    out = {
         "execution_index": crash.execution_index,
         "outcome": crash.outcome,
         "failure": crash.failure,
         "abstract_schedule": schedule_to_dict(crash.abstract_schedule),
         "concrete_schedule": list(crash.concrete_schedule),
+        "frames": list(crash.frames),
     }
+    if crash.dedup_key is not None:
+        out["dedup_key"] = list(crash.dedup_key)
+    return out
 
 
 def crash_from_dict(data: dict[str, Any]) -> CrashRecord:
+    raw_key = data.get("dedup_key")
     return CrashRecord(
         execution_index=data["execution_index"],
         outcome=data["outcome"],
         failure=data["failure"],
         abstract_schedule=schedule_from_dict(data["abstract_schedule"]),
         concrete_schedule=tuple(data["concrete_schedule"]),
+        dedup_key=tuple(raw_key) if raw_key is not None else None,
+        frames=tuple(data.get("frames", ())),
     )
 
 
@@ -161,6 +169,10 @@ def result_to_dict(result: BugSearchResult) -> dict[str, Any]:
     }
     if result.sanitizer_reports:
         out["sanitizer_reports"] = [r.to_dict() for r in result.sanitizer_reports]
+    if result.bucket is not None:
+        out["bucket"] = result.bucket
+    if result.replay_verdict is not None:
+        out["replay_verdict"] = result.replay_verdict
     return out
 
 
@@ -179,6 +191,8 @@ def result_from_dict(data: dict[str, Any]) -> BugSearchResult:
         sanitizer_reports=tuple(
             SanitizerReport.from_dict(r) for r in data.get("sanitizer_reports", ())
         ),
+        bucket=data.get("bucket"),
+        replay_verdict=data.get("replay_verdict"),
     )
 
 
@@ -231,19 +245,89 @@ def append_jsonl(record: dict[str, Any], path: str | Path) -> Path:
     return target
 
 
-def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Read a JSONL file, skipping blank and torn (truncated) lines."""
+class TornLineError(ValueError):
+    """A JSONL file contains an unparseable line the caller must not skip:
+    either a torn *tail* with ``tolerate_torn_tail=False``, or a torn line
+    in the *middle* of the file — which append-and-flush writers never
+    produce, so it signals real corruption, not an interrupted write."""
+
+
+def read_jsonl(path: str | Path, tolerate_torn_tail: bool = True) -> list[dict[str, Any]]:
+    """Read a JSONL file written by :func:`append_jsonl`.
+
+    A killed writer can leave at most one torn line, and only at the end of
+    the file.  With ``tolerate_torn_tail=True`` (the default, matching what
+    checkpoint resume needs) that single trailing tear is skipped and
+    counted in the ``torn_lines`` telemetry counter; an unparseable line
+    anywhere *before* the last one always raises :class:`TornLineError`,
+    because it cannot be explained by an interrupted append."""
     target = Path(path)
     if not target.exists():
         return []
+    lines = [
+        (number, line)
+        for number, line in enumerate(target.read_text(encoding="utf-8").splitlines(), start=1)
+        if line.strip()
+    ]
     records = []
-    for line in target.read_text(encoding="utf-8").splitlines():
-        if not line.strip():
-            continue
+    for position, (number, line) in enumerate(lines):
         try:
             records.append(json.loads(line))
-        except json.JSONDecodeError:
-            # A torn final line from a killed writer; everything before it
-            # was flushed whole, so just stop at the tear.
-            break
+        except json.JSONDecodeError as exc:
+            is_tail = position == len(lines) - 1
+            if is_tail and tolerate_torn_tail:
+                # Lazy import: repro.harness.telemetry imports nothing from
+                # here, but keeping persist import-light avoids surprises.
+                from repro.harness.telemetry import GLOBAL_COUNTERS
+
+                GLOBAL_COUNTERS.torn_lines += 1
+                break
+            where = "torn trailing line" if is_tail else "torn line mid-file"
+            raise TornLineError(f"{target}:{number}: {where}: {exc}") from exc
     return records
+
+
+# ----------------------------------------------------------------------
+# Checksummed payloads (standalone repro artifacts)
+# ----------------------------------------------------------------------
+class ChecksumError(ValueError):
+    """A checksummed payload failed verification (corrupt or hand-edited)."""
+
+
+def payload_checksum(payload: dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON form of ``payload`` minus its own
+    ``checksum`` field, so the digest can be stored inside the payload."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def attach_checksum(payload: dict[str, Any]) -> dict[str, Any]:
+    """Return ``payload`` with its ``checksum`` field (re)computed."""
+    out = dict(payload)
+    out["checksum"] = payload_checksum(out)
+    return out
+
+
+def verify_checksum(payload: dict[str, Any], source: str = "payload") -> dict[str, Any]:
+    """Validate a checksummed payload; raises :class:`ChecksumError`."""
+    stored = payload.get("checksum")
+    if not stored:
+        raise ChecksumError(f"{source}: missing checksum field")
+    expected = payload_checksum(payload)
+    if stored != expected:
+        raise ChecksumError(
+            f"{source}: checksum mismatch (stored {stored[:12]}…, computed "
+            f"{expected[:12]}…) — the file is corrupt or was edited by hand"
+        )
+    return payload
+
+
+def save_checksummed(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write ``payload`` with an attached checksum (pretty-printed JSON)."""
+    return save_json(attach_checksum(payload), path)
+
+
+def load_checksummed(path: str | Path) -> dict[str, Any]:
+    """Load and verify a checksummed JSON payload."""
+    return verify_checksum(load_json(path), source=str(path))

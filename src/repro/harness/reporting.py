@@ -223,6 +223,49 @@ def sanitizer_summary(campaign: CampaignResult) -> str:
 
 
 # ----------------------------------------------------------------------
+# Triage / reproduction
+# ----------------------------------------------------------------------
+def reproduction_summary(campaign: CampaignResult) -> str:
+    """Render the replay-verification ledger of a campaign.
+
+    Bugs are grouped per program by their triage bucket; each bucket shows
+    how many trials landed in it and the replay verdicts observed.  Only
+    STABLE bugs count as reproduced — FLAKY buckets are listed under a
+    quarantine marker so they are never mistaken for verified findings.
+    """
+    per_program: dict[str, dict[str, Counter]] = {}
+    stable = flaky = unverified = 0
+    for (_, program), trials in campaign.results.items():
+        buckets = per_program.setdefault(program, {})
+        for result in trials:
+            if not result.found or result.bucket is None:
+                continue
+            verdict = result.replay_verdict or "UNVERIFIED"
+            buckets.setdefault(result.bucket, Counter())[verdict] += 1
+            if verdict == "STABLE":
+                stable += 1
+            elif verdict == "FLAKY":
+                flaky += 1
+            else:
+                unverified += 1
+    lines = [
+        "Reproduction ledger: "
+        f"{stable} STABLE, {flaky} FLAKY (quarantined), {unverified} unverified"
+    ]
+    for program in sorted(per_program):
+        buckets = per_program[program]
+        if not buckets:
+            continue
+        lines.append(f"  {program}:")
+        for bucket in sorted(buckets):
+            verdicts = buckets[bucket]
+            rendered = ", ".join(f"{v}×{n}" for v, n in sorted(verdicts.items()))
+            marker = " [QUARANTINED]" if verdicts.get("FLAKY") else ""
+            lines.append(f"    {bucket}: {rendered}{marker}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Pairwise significance (Sections 5.2/5.3 claims)
 # ----------------------------------------------------------------------
 def significance_summary(

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -51,6 +51,16 @@ class Counters:
     corpus_adds: int = 0
     #: Findings emitted by online sanitizer stacks (one per report).
     sanitizer_reports: int = 0
+    #: Executions killed by a guard watchdog (step budget or wall clock).
+    timeouts: int = 0
+    #: Executions killed by the guard's livelock detector.
+    livelocks: int = 0
+    #: Replay executions run by the reproduction verifier.
+    replays: int = 0
+    #: Bug buckets quarantined as FLAKY by replay verification.
+    flaky_quarantined: int = 0
+    #: Torn trailing JSONL lines skipped by tolerant readers.
+    torn_lines: int = 0
 
     def snapshot(self) -> "Counters":
         return replace(self)
@@ -58,16 +68,15 @@ class Counters:
     def delta(self, since: "Counters") -> "Counters":
         """Counter increments accumulated after ``since`` was snapshotted."""
         return Counters(
-            executions=self.executions - since.executions,
-            steps=self.steps - since.steps,
-            crashes=self.crashes - since.crashes,
-            corpus_adds=self.corpus_adds - since.corpus_adds,
-            sanitizer_reports=self.sanitizer_reports - since.sanitizer_reports,
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
         )
 
     def reset(self) -> None:
-        self.executions = self.steps = self.crashes = self.corpus_adds = 0
-        self.sanitizer_reports = 0
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)

@@ -18,7 +18,9 @@ from repro.algos.modelcheck import ModelChecker, UnsupportedProgram
 from repro.algos.period import PeriodExplorer
 from repro.algos.qlearning import QLearningRfPolicy
 from repro.core.fuzzer import RffConfig, RffFuzzer
+from repro.core.reproduce import bucket_id, dedup_key, sanitizer_key, verify_replay
 from repro.runtime.executor import DEFAULT_MAX_STEPS, Executor
+from repro.runtime.guard import GuardConfig
 from repro.runtime.program import Program
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.muzz_like import MuzzLikePolicy
@@ -49,6 +51,13 @@ class BugSearchResult:
     #: Distinct online-sanitizer findings of the trial (when the tool ran
     #: with a sanitizer stack attached).
     sanitizer_reports: tuple["SanitizerReport", ...] = ()
+    #: Triage bucket of the first bug (None when no bug / not computable).
+    bucket: str | None = None
+    #: Replay verification verdict of the first bug: ``"STABLE"`` when every
+    #: verification replay reproduced the identical outcome and dedup key,
+    #: ``"FLAKY"`` otherwise (the finding is quarantined), None when replay
+    #: verification was off or the tool cannot replay (model checkers).
+    replay_verdict: str | None = None
 
 
 class TestingTool(ABC):
@@ -62,6 +71,11 @@ class TestingTool(ABC):
     #: sets this from ``CampaignConfig.sanitizers``; tools that do not
     #: support sanitizers simply ignore it.
     sanitizers: tuple[str, ...] = ()
+    #: Replays per found bug for STABLE/FLAKY verification (0 = off).  Set
+    #: by the campaign harness from ``CampaignConfig.verify_replays``.
+    verify_replays: int = 0
+    #: Runtime guardrails attached to every execution (None = unguarded).
+    guard: GuardConfig | None = None
 
     @abstractmethod
     def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:
@@ -76,6 +90,8 @@ class TestingTool(ABC):
         outcome: str | None = None,
         error: str | None = None,
         sanitizer_reports: tuple["SanitizerReport", ...] = (),
+        bucket: str | None = None,
+        replay_verdict: str | None = None,
     ) -> BugSearchResult:
         return BugSearchResult(
             tool=self.name,
@@ -87,7 +103,42 @@ class TestingTool(ABC):
             outcome=outcome,
             error=error,
             sanitizer_reports=sanitizer_reports,
+            bucket=bucket,
+            replay_verdict=replay_verdict,
         )
+
+    def _verify(
+        self,
+        program: Program,
+        schedule: tuple[int, ...],
+        expected_outcome: str | None,
+        expected_key: tuple[str, str, str] | None = None,
+        expected_sanitizer_key: tuple | None = None,
+        executor_class: type[Executor] | None = None,
+        sanitizers: tuple[str, ...] | None = None,
+        max_steps: int | None = None,
+        guard: GuardConfig | None = None,
+    ) -> str | None:
+        """Replay-verify one found bug; returns STABLE/FLAKY or None (off)."""
+        if self.verify_replays <= 0:
+            return None
+        verdict = verify_replay(
+            program,
+            schedule,
+            expected_outcome,
+            expected_key,
+            replays=self.verify_replays,
+            max_steps=max_steps,
+            sanitizers=tuple(self.sanitizers) if sanitizers is None else sanitizers,
+            expected_sanitizer_key=expected_sanitizer_key,
+            executor_class=executor_class,
+            guard=self.guard if guard is None else guard,
+        )
+        if not verdict.stable:
+            from repro.harness.telemetry import GLOBAL_COUNTERS
+
+            GLOBAL_COUNTERS.flaky_quarantined += 1
+        return verdict.verdict
 
 
 def _program_steps(program: Program) -> int:
@@ -105,14 +156,47 @@ class RffTool(TestingTool):
         config = self.config
         if self.sanitizers and not config.sanitizers:
             config = replace(config, sanitizers=tuple(self.sanitizers))
+        if self.guard is not None and config.guard is None:
+            config = replace(config, guard=self.guard)
         fuzzer = RffFuzzer(program, seed=seed, config=config)
         report = fuzzer.run(budget, stop_on_first_crash=True)
-        if report.crashes:
-            outcome = report.crashes[0].outcome
-        elif report.sanitizer_records:
-            outcome = f"sanitizer:{report.sanitizer_records[0].report.sanitizer}"
-        else:
-            outcome = None
+        crash = report.crashes[0] if report.crashes else None
+        record = report.sanitizer_records[0] if report.sanitizer_records else None
+        if record is not None and (
+            crash is None or record.execution_index < crash.execution_index
+        ):
+            crash = None  # the sanitizer finding is the first bug
+        outcome = None
+        bucket = None
+        verdict = None
+        executor_class = fuzzer._executor_class()
+        if crash is not None:
+            outcome = crash.outcome
+            if crash.dedup_key is not None:
+                bucket = bucket_id(crash.dedup_key)
+            verdict = self._verify(
+                program,
+                crash.concrete_schedule,
+                crash.outcome,
+                crash.dedup_key,
+                executor_class=executor_class,
+                sanitizers=config.sanitizers,
+                max_steps=config.max_steps,
+                guard=config.guard,
+            )
+        elif record is not None:
+            outcome = f"sanitizer:{record.report.sanitizer}"
+            bucket = bucket_id(sanitizer_key(record.report))
+            verdict = self._verify(
+                program,
+                record.concrete_schedule,
+                None,
+                expected_sanitizer_key=record.report.dedup_key,
+                executor_class=executor_class,
+                sanitizers=config.sanitizers,
+                max_steps=config.max_steps,
+                guard=config.guard,
+            )
         return self._result(
             program,
             seed,
@@ -120,6 +204,8 @@ class RffTool(TestingTool):
             report.executions,
             outcome,
             sanitizer_reports=tuple(r.report for r in report.sanitizer_records),
+            bucket=bucket,
+            replay_verdict=verdict,
         )
 
 
@@ -148,7 +234,9 @@ class PerExecutionPolicyTool(TestingTool):
         for index in range(1, budget + 1):
             current = policy if policy is not None else self._make_policy(rng.randrange(2**63))
             stack = stack_builder(self.sanitizers) if stack_builder else None
-            result = Executor(program, current, max_steps=max_steps, sanitizers=stack).run()
+            result = Executor(
+                program, current, max_steps=max_steps, sanitizers=stack, guard=self.guard
+            ).run()
             new_reports = [
                 r for r in result.sanitizer_reports if r.dedup_key not in seen_keys
             ]
@@ -156,15 +244,30 @@ class PerExecutionPolicyTool(TestingTool):
                 seen_keys.add(report.dedup_key)
                 all_reports.append(report)
             if result.crashed:
+                key = dedup_key(result)
+                verdict = self._verify(
+                    program, tuple(result.schedule), result.outcome, key
+                )
                 return self._result(
                     program, seed, index, index, result.outcome,
                     sanitizer_reports=tuple(all_reports),
+                    bucket=bucket_id(key),
+                    replay_verdict=verdict,
                 )
             if new_reports:
+                first = new_reports[0]
+                verdict = self._verify(
+                    program,
+                    tuple(result.schedule),
+                    None,
+                    expected_sanitizer_key=first.dedup_key,
+                )
                 return self._result(
                     program, seed, index, index,
-                    f"sanitizer:{new_reports[0].sanitizer}",
+                    f"sanitizer:{first.sanitizer}",
                     sanitizer_reports=tuple(all_reports),
+                    bucket=bucket_id(sanitizer_key(first)),
+                    replay_verdict=verdict,
                 )
         return self._result(program, seed, None, budget, sanitizer_reports=tuple(all_reports))
 

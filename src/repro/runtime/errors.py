@@ -16,6 +16,11 @@ class RuntimeViolation(Exception):
 
     #: Short machine-readable bug category, overridden by subclasses.
     kind = "violation"
+    #: Stable ``function:line`` frames pinpointing where the violation
+    #: happened; filled in by the executor (or the raiser) and surfaced as
+    #: ``ExecutionResult.failure_frames`` so triage can hash them into a
+    #: bucket signature.
+    frames: tuple[str, ...] = ()
 
 
 class AssertionViolation(RuntimeViolation):
@@ -36,6 +41,54 @@ class DeadlockDetected(RuntimeViolation):
     def __init__(self, blocked_threads: tuple[int, ...]):
         super().__init__(f"deadlock among threads {sorted(blocked_threads)}")
         self.blocked_threads = tuple(blocked_threads)
+
+
+class ExecutionTimeout(RuntimeViolation):
+    """The guard's step budget or wall-clock watchdog expired.
+
+    ``deterministic`` distinguishes the step-budget watchdog (bit-identical
+    across replays and across serial/parallel campaigns) from the wall-clock
+    one (best-effort, machine-dependent).
+    """
+
+    kind = "timeout"
+
+    def __init__(self, message: str, deterministic: bool = True):
+        super().__init__(message)
+        self.deterministic = deterministic
+
+
+class LivelockDetected(RuntimeViolation):
+    """The enabled set kept cycling with no new events for a full window.
+
+    Raised by the guard's livelock detector: ``window`` consecutive steps
+    each repeated an already-seen event fingerprint while no thread finished
+    — the signature of CAS retry storms and lost-wakeup spin loops.
+    """
+
+    kind = "livelock"
+
+    def __init__(self, message: str, window: int = 0):
+        super().__init__(message)
+        self.window = window
+
+
+class UncaughtProgramException(RuntimeViolation):
+    """An arbitrary exception escaped a benchmark generator.
+
+    The executor converts it into a structured violation (with the original
+    exception type and the program-level ``function:line`` frames captured
+    from its traceback) so one misbehaving benchmark crashes the execution,
+    not the fuzzer.
+    """
+
+    kind = "exception"
+
+    def __init__(self, exc_type: str, detail: str, frames: tuple[str, ...] = ()):
+        location = f" @ {frames[-1]}" if frames else ""
+        super().__init__(f"{exc_type}: {detail}{location}")
+        self.exc_type = exc_type
+        self.frames = tuple(frames)
 
 
 class MemorySafetyViolation(RuntimeViolation):

@@ -11,6 +11,8 @@ stable feedback signal.
 
 from __future__ import annotations
 
+import os
+import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Iterable
 
@@ -24,7 +26,9 @@ from repro.runtime.errors import (
     ProgramError,
     RuntimeViolation,
     SchedulerError,
+    UncaughtProgramException,
 )
+from repro.runtime.guard import GuardConfig, Watchdog
 from repro.runtime.objects import Barrier, CondVar, Mutex
 from repro.runtime.thread import ThreadHandle, ThreadState, ThreadStatus
 
@@ -83,6 +87,13 @@ class ExecutionResult:
     #: Findings of the execution's online sanitizer stack (empty when none
     #: was attached).
     sanitizer_reports: list["SanitizerReport"] = field(default_factory=list)
+    #: Stable ``function:line`` frames of the failure (empty when the
+    #: execution completed normally); the triage bucket's frame component.
+    failure_frames: tuple[str, ...] = ()
+    #: First step at which a replaying policy could not follow its recorded
+    #: schedule (None = exact replay, or the policy does not replay at all).
+    #: Surfaced here so callers never reach into the policy object.
+    diverged: int | None = None
 
     @property
     def crashed(self) -> bool:
@@ -92,6 +103,16 @@ class ExecutionResult:
     def outcome(self) -> str | None:
         return self.trace.outcome
 
+    @property
+    def timed_out(self) -> bool:
+        """True when a guard watchdog (step budget / wall clock) tripped."""
+        return self.trace.outcome == "timeout"
+
+    @property
+    def livelocked(self) -> bool:
+        """True when the guard's livelock detector tripped."""
+        return self.trace.outcome == "livelock"
+
 
 def _innermost_frame(gen: Generator) -> Any:
     """Follow ``yield from`` delegation to the innermost suspended frame."""
@@ -99,6 +120,25 @@ def _innermost_frame(gen: Generator) -> Any:
     while getattr(inner, "gi_yieldfrom", None) is not None and hasattr(inner.gi_yieldfrom, "gi_frame"):
         inner = inner.gi_yieldfrom
     return getattr(inner, "gi_frame", None), getattr(inner, "gi_code", None)
+
+
+#: The runtime package directory; traceback frames inside it are executor
+#: machinery, not program code, and are dropped from captured failure frames.
+_RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _frames_from_traceback(tb) -> tuple[str, ...]:
+    """Stable ``function:line`` frames of program code in a traceback.
+
+    The labels match :func:`_derive_loc` (and thus event ``loc`` fields), so
+    triage can hash exception frames and event frontiers interchangeably.
+    """
+    frames = []
+    for entry in traceback.extract_tb(tb):
+        if os.path.dirname(os.path.abspath(entry.filename)) == _RUNTIME_DIR:
+            continue
+        frames.append(f"{entry.name}:{entry.lineno}")
+    return tuple(frames)
 
 
 def _derive_loc(gen: Generator) -> str:
@@ -154,12 +194,16 @@ class Executor:
         policy: "SchedulerPolicy",
         max_steps: int = DEFAULT_MAX_STEPS,
         sanitizers: Iterable["Sanitizer"] | None = None,
+        guard: GuardConfig | None = None,
     ):
         self.program = program
         self.policy = policy
         self.max_steps = max_steps
         #: Online sanitizer stack, driven by :meth:`_record` as events land.
         self.sanitizers: tuple["Sanitizer", ...] = tuple(sanitizers or ())
+        #: Optional runtime guardrails (watchdogs + livelock detection).
+        self.guard = guard
+        self._watchdog = Watchdog(guard) if guard is not None and guard.enabled else None
         self.api = Api()
         self.threads: list[ThreadState] = []
         self.trace = Trace()
@@ -201,6 +245,10 @@ class Executor:
         for sanitizer in self.sanitizers:
             sanitizer.on_thread_start(0, None)
         truncated = False
+        failure_frames: tuple[str, ...] = ()
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.start()
         self.policy.begin(self)
         try:
             self._advance(main_thread, None)
@@ -210,18 +258,25 @@ class Executor:
                 if self.step_index >= self.max_steps:
                     truncated = True
                     break
+                if watchdog is not None:
+                    watchdog.check_step(self.step_index, self._frontier_frames)
                 candidates = self.enabled_candidates()
                 if not candidates:
                     blocked = tuple(t.tid for t in self.threads if not t.finished)
-                    raise DeadlockDetected(blocked)
+                    error = DeadlockDetected(blocked)
+                    error.frames = self._frontier_frames()
+                    raise error
                 choice = self.policy.choose(candidates, self)
                 if choice not in candidates:
                     raise SchedulerError(f"policy chose {choice}, not an enabled candidate")
                 event = self._execute(choice)
                 self.policy.notify(event, self)
+                if watchdog is not None:
+                    watchdog.after_event(event)
         except RuntimeViolation as violation:
             self.trace.outcome = violation.kind
             self.trace.failure = str(violation)
+            failure_frames = tuple(violation.frames) or self._frontier_frames()
         reports: list["SanitizerReport"] = []
         for sanitizer in self.sanitizers:
             reports.extend(sanitizer.finish())
@@ -231,13 +286,35 @@ class Executor:
             steps=self.step_index,
             truncated=truncated,
             sanitizer_reports=reports,
+            failure_frames=failure_frames,
+            diverged=getattr(self.policy, "diverged", None),
         )
         counters = _global_counters()
         counters.executions += 1
         counters.steps += self.step_index
         counters.sanitizer_reports += len(reports)
+        if result.timed_out:
+            counters.timeouts += 1
+        elif result.livelocked:
+            counters.livelocks += 1
         self.policy.end(result, self)
         return result
+
+    def _frontier_frames(self) -> tuple[str, ...]:
+        """The pending program points of all live threads, sorted.
+
+        This is the deterministic "stack" of a deadlocked, timed-out or
+        crashing execution: where every unfinished thread currently stands.
+        """
+        return tuple(
+            sorted(
+                {
+                    thread.pending_loc
+                    for thread in self.threads
+                    if not thread.finished and thread.pending_loc
+                }
+            )
+        )
 
     def _all_done(self) -> bool:
         """Whether the execution has fully completed (hook for subclasses
@@ -292,6 +369,10 @@ class Executor:
         try:
             rf, value, resume, advance_now, aux = self._apply(thread, op, eid, location)
         except RuntimeViolation as violation:
+            if not violation.frames:
+                # Operation-level oracles (null dereference, use-after-free)
+                # fail at the executing op's program point.
+                violation.frames = (thread.pending_loc,) if thread.pending_loc else ()
             crash = violation
         event = Event(
             eid=eid,
@@ -472,7 +553,12 @@ class Executor:
     def _spawn(self, op: ops.SpawnOp, parent_tid: int) -> ThreadHandle:
         tid = len(self.threads)
         name = op.name or getattr(op.fn, "__name__", f"thread{tid}")
-        gen = op.fn(self.api, *op.args)
+        try:
+            gen = op.fn(self.api, *op.args)
+        except TypeError as exc:
+            # Not program misbehaviour mid-run but a malformed benchmark
+            # (non-callable target, wrong arity): fail loudly, don't triage.
+            raise ProgramError(f"cannot spawn {name!r}: {exc}") from exc
         if not hasattr(gen, "send"):
             raise ProgramError(f"spawned function {name!r} is not a generator")
         thread = ThreadState(tid, name, gen)
@@ -491,6 +577,12 @@ class Executor:
         Runs thread-local code atomically; any :class:`RuntimeViolation`
         raised by program code (assertions, heap oracles triggered inside
         helpers) propagates to the main loop, which records the crash.
+        Arbitrary exceptions escaping the generator are converted into
+        :class:`UncaughtProgramException` — a structured crash with the
+        program frames captured — so one misbehaving benchmark cannot abort
+        a whole fuzzing campaign.  :class:`ProgramError` (malformed
+        benchmark) and :class:`SchedulerError` (harness bug) still
+        propagate: they are infrastructure failures, not findings.
         """
         try:
             op = thread.gen.send(value)
@@ -498,9 +590,21 @@ class Executor:
             thread.status = ThreadStatus.FINISHED
             thread.pending = None
             thread.cached_candidate = None
+            if self._watchdog is not None:
+                self._watchdog.progress()
             for sanitizer in self.sanitizers:
                 sanitizer.on_thread_exit(thread.tid)
             return
+        except RuntimeViolation as violation:
+            if not violation.frames:
+                violation.frames = _frames_from_traceback(violation.__traceback__)
+            raise
+        except (ProgramError, SchedulerError):
+            raise
+        except Exception as exc:
+            raise UncaughtProgramException(
+                type(exc).__name__, str(exc), _frames_from_traceback(exc.__traceback__)
+            ) from exc
         if not isinstance(op, ops.Op):
             raise ProgramError(f"thread {thread.name!r} yielded non-operation {op!r}")
         thread.pending = op
@@ -513,9 +617,12 @@ def run_program(
     policy: "SchedulerPolicy",
     max_steps: int = DEFAULT_MAX_STEPS,
     sanitizers: Iterable["Sanitizer"] | None = None,
+    guard: GuardConfig | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: one execution of ``program`` under ``policy``."""
-    return Executor(program, policy, max_steps=max_steps, sanitizers=sanitizers).run()
+    return Executor(
+        program, policy, max_steps=max_steps, sanitizers=sanitizers, guard=guard
+    ).run()
 
 
 #: Public alias: scheduler policies use this to inspect blocked threads'

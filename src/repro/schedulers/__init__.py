@@ -5,13 +5,14 @@ from repro.schedulers.muzz_like import MuzzLikePolicy
 from repro.schedulers.pct import PctPolicy
 from repro.schedulers.pos import PosPolicy
 from repro.schedulers.random_walk import RandomWalkPolicy
-from repro.schedulers.replay import ReplayPolicy
+from repro.schedulers.replay import ReplayDivergence, ReplayPolicy
 
 __all__ = [
     "MuzzLikePolicy",
     "PctPolicy",
     "PosPolicy",
     "RandomWalkPolicy",
+    "ReplayDivergence",
     "ReplayPolicy",
     "SchedulerPolicy",
     "SeededPolicy",

@@ -1,0 +1,265 @@
+"""Runtime guardrails: watchdogs, livelock detection, exception isolation.
+
+The load-bearing property is determinism: a guard kill is part of the
+execution's outcome, so the same schedule under the same budget must trip
+at exactly the same point — serially, in parallel workers, and under
+replay.  Wall-clock kills are the documented exception (flagged
+non-deterministic) and are tested against a fake clock only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.core.reproduce import dedup_key
+from repro.harness.telemetry import GLOBAL_COUNTERS
+from repro.runtime import program, run_program
+from repro.runtime.errors import (
+    ExecutionTimeout,
+    LivelockDetected,
+    ProgramError,
+    UncaughtProgramException,
+)
+from repro.runtime.executor import Executor
+from repro.runtime.guard import GuardConfig, LivelockDetector, Watchdog
+from repro.schedulers import RandomWalkPolicy, ReplayPolicy
+
+
+@program("test/guard_spinner", bug_kinds=())
+def spinner_program(t):
+    """One thread spins on a flag nobody ever sets: runs forever."""
+
+    def spin(t, x):
+        while True:
+            value = yield t.read(x)
+            if value:
+                break
+
+    x = t.var("x", 0)
+    yield t.spawn(spin, x)
+
+
+@program("test/guard_divzero", bug_kinds=())
+def divzero_program(t):
+    """A worker raises an arbitrary Python exception mid-execution."""
+
+    def worker(t, x):
+        value = yield t.read(x)
+        yield t.write(x, 1 // value)
+
+    x = t.var("x", 0)
+    h = yield t.spawn(worker, x)
+    yield t.join(h)
+
+
+class TestGuardConfig:
+    def test_disabled_by_default(self):
+        assert not GuardConfig().enabled
+
+    def test_enabled_by_any_knob(self):
+        assert GuardConfig(step_budget=10).enabled
+        assert GuardConfig(wall_seconds=1.0).enabled
+        assert GuardConfig(livelock_window=8).enabled
+
+    def test_identity_tuple(self):
+        config = GuardConfig(step_budget=5, wall_seconds=2.5, livelock_window=9)
+        assert config.as_tuple() == (5, 2.5, 9)
+
+    def test_livelock_window_validated(self):
+        with pytest.raises(ValueError, match="window must be >= 2"):
+            LivelockDetector(1)
+
+
+class TestStepBudget:
+    def test_trips_as_timeout_outcome(self):
+        result = run_program(
+            spinner_program,
+            RandomWalkPolicy(0),
+            guard=GuardConfig(step_budget=25),
+        )
+        assert result.timed_out
+        assert result.crashed  # a watchdog kill is a finding, not noise
+        assert result.outcome == "timeout"
+        assert result.steps == 25
+        assert result.failure_frames  # frontier recorded for triage
+
+    def test_budget_zero_means_no_events(self):
+        result = run_program(
+            spinner_program, RandomWalkPolicy(0), guard=GuardConfig(step_budget=0)
+        )
+        assert result.timed_out and result.steps == 0
+
+    def test_deterministic_same_schedule_same_kill(self):
+        runs = [
+            run_program(
+                spinner_program,
+                RandomWalkPolicy(7),
+                guard=GuardConfig(step_budget=30),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].outcome == runs[1].outcome == "timeout"
+        assert runs[0].steps == runs[1].steps
+        assert list(runs[0].schedule) == list(runs[1].schedule)
+        assert dedup_key(runs[0]) == dedup_key(runs[1])
+
+    def test_timeout_replays_identically(self):
+        found = run_program(
+            spinner_program, RandomWalkPolicy(3), guard=GuardConfig(step_budget=40)
+        )
+        assert found.timed_out
+        replayed = run_program(
+            spinner_program,
+            ReplayPolicy(list(found.schedule)),
+            guard=GuardConfig(step_budget=40),
+        )
+        assert replayed.outcome == "timeout"
+        assert replayed.steps == found.steps
+        assert replayed.diverged is None
+        assert dedup_key(replayed) == dedup_key(found)
+
+    def test_counter_incremented(self):
+        before = GLOBAL_COUNTERS.snapshot()
+        run_program(
+            spinner_program, RandomWalkPolicy(0), guard=GuardConfig(step_budget=10)
+        )
+        assert GLOBAL_COUNTERS.delta(before).timeouts == 1
+
+    def test_unguarded_behavior_unchanged(self):
+        # Without a guard the spinner is truncated at max_steps, not crashed.
+        result = run_program(spinner_program, RandomWalkPolicy(0), max_steps=50)
+        assert result.truncated
+        assert not result.crashed
+        assert result.outcome is None
+
+
+class TestLivelock:
+    def test_spinner_flagged(self):
+        result = run_program(
+            spinner_program,
+            RandomWalkPolicy(0),
+            guard=GuardConfig(livelock_window=12),
+        )
+        assert result.livelocked
+        assert result.outcome == "livelock"
+        assert result.failure_frames  # the cycling program points
+
+    def test_livelock_deterministic(self):
+        runs = [
+            run_program(
+                spinner_program,
+                RandomWalkPolicy(5),
+                guard=GuardConfig(livelock_window=10),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].outcome == runs[1].outcome == "livelock"
+        assert runs[0].steps == runs[1].steps
+        assert dedup_key(runs[0]) == dedup_key(runs[1])
+
+    def test_progressing_program_not_flagged(self, racefree):
+        result = run_program(
+            racefree, RandomWalkPolicy(0), guard=GuardConfig(livelock_window=6)
+        )
+        assert not result.livelocked
+        assert not result.crashed
+
+    def test_counter_incremented(self):
+        before = GLOBAL_COUNTERS.snapshot()
+        run_program(
+            spinner_program, RandomWalkPolicy(0), guard=GuardConfig(livelock_window=8)
+        )
+        assert GLOBAL_COUNTERS.delta(before).livelocks == 1
+
+
+class TestWallClock:
+    def test_fake_clock_trips_nondeterministic_timeout(self):
+        ticks = iter(range(1000))
+        watchdog = Watchdog(
+            GuardConfig(wall_seconds=3.0, wall_check_interval=1),
+            clock=lambda: float(next(ticks)),
+        )
+        watchdog.start()
+        watchdog.check_step(0, tuple)  # 1s elapsed: fine
+        watchdog.check_step(1, tuple)  # 2s
+        with pytest.raises(ExecutionTimeout) as excinfo:
+            for step in range(2, 10):
+                watchdog.check_step(step, tuple)
+        assert excinfo.value.deterministic is False
+
+    def test_checked_only_at_interval(self):
+        def make_clock():
+            ticks = iter(range(100, 1000))
+            return lambda: float(next(ticks))
+
+        watchdog = Watchdog(
+            GuardConfig(wall_seconds=0.0, wall_check_interval=64), clock=make_clock()
+        )
+        watchdog.start()
+        with pytest.raises(ExecutionTimeout):
+            watchdog.check_step(0, tuple)
+        watchdog = Watchdog(
+            GuardConfig(wall_seconds=0.0, wall_check_interval=64), clock=make_clock()
+        )
+        watchdog.start()
+        watchdog.check_step(7, tuple)  # off-interval step: not checked
+
+    def test_real_executor_wall_timeout(self):
+        result = run_program(
+            spinner_program,
+            RandomWalkPolicy(0),
+            max_steps=10_000_000,
+            guard=GuardConfig(wall_seconds=0.0, wall_check_interval=1),
+        )
+        assert result.timed_out
+
+
+class TestExceptionIsolation:
+    def test_uncaught_exception_becomes_structured_crash(self):
+        result = run_program(divzero_program, RandomWalkPolicy(0))
+        assert result.crashed
+        assert result.outcome == "exception"
+        assert "ZeroDivisionError" in (result.trace.failure or "")
+        assert any("worker" in frame for frame in result.failure_frames)
+
+    def test_exception_crash_is_deterministic_and_replayable(self):
+        found = run_program(divzero_program, RandomWalkPolicy(2))
+        assert found.outcome == "exception"
+        replayed = run_program(divzero_program, ReplayPolicy(list(found.schedule)))
+        assert replayed.outcome == "exception"
+        assert replayed.diverged is None
+        assert dedup_key(replayed) == dedup_key(found)
+
+    def test_violation_subclass(self):
+        error = UncaughtProgramException("KeyError", "'x'", ("worker:3",))
+        assert error.kind == "exception"
+        assert "KeyError" in str(error) and "worker:3" in str(error)
+
+    def test_infrastructure_errors_still_raise(self):
+        @program("test/guard_badspawn", bug_kinds=())
+        def badspawn(t):
+            yield t.spawn(None)
+
+        with pytest.raises(ProgramError):
+            run_program(badspawn, RandomWalkPolicy(0))
+
+
+class TestErrorTypes:
+    def test_execution_timeout_kinds(self):
+        assert ExecutionTimeout("x").kind == "timeout"
+        assert ExecutionTimeout("x").deterministic is True
+        assert LivelockDetected("x", window=9).kind == "livelock"
+        assert LivelockDetected("x", window=9).window == 9
+
+
+class TestGuardOnBench:
+    def test_guarded_bug_still_found(self):
+        # A generous guard must not change what a bench execution finds.
+        prog = bench.get("CS/account")
+        guard = GuardConfig(step_budget=100_000, livelock_window=10_000)
+        for seed in range(12):
+            plain = run_program(prog, RandomWalkPolicy(seed))
+            guarded = run_program(prog, RandomWalkPolicy(seed), guard=guard)
+            assert plain.outcome == guarded.outcome
+            assert list(plain.schedule) == list(guarded.schedule)

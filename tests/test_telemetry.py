@@ -151,6 +151,11 @@ class TestCounters:
             "crashes": 3,
             "corpus_adds": 4,
             "sanitizer_reports": 0,
+            "timeouts": 0,
+            "livelocks": 0,
+            "replays": 0,
+            "flaky_quarantined": 0,
+            "torn_lines": 0,
         }
         counters.reset()
         assert counters == Counters()
