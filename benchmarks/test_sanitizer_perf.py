@@ -4,7 +4,7 @@ The streaming sanitizers run inline with the executor, so their cost is
 pure per-event CPU.  This bench measures executor throughput with the
 sanitizer stack disabled and with all three sanitizers attached, writes
 ``results/BENCH_sanitizer.json`` and asserts the full stack stays within
-a 3x slowdown — the budget that keeps sanitized campaigns practical.
+a 1.8x slowdown — the budget that keeps sanitized campaigns practical.
 
 Plain ``time.perf_counter`` loops (not pytest-benchmark) so the numbers
 are produced on every run, including CI's plain ``pytest`` invocation.
@@ -25,24 +25,34 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 #: (subject, executions per sample) — one tiny hot program, one long one.
 SUBJECTS = [("CS/account", 60), ("CS/reorder_100", 15)]
-MAX_OVERHEAD = 3.0
+MAX_OVERHEAD = 1.8
 STACK = ("race", "lockset", "lockorder")
+
+#: Timed samples per configuration; the fastest is kept (min-wall estimator,
+#: robust to GC pauses and scheduler hiccups that would skew the ratio).
+SAMPLES = 3
 
 
 def _sample(program, executions: int, names: tuple[str, ...]) -> tuple[int, float]:
-    """Total executor steps and wall seconds over ``executions`` runs."""
-    steps = 0
-    start = time.perf_counter()
-    for seed in range(executions):
-        sanitizers = build_stack(names) if names else None
-        result = Executor(
-            program,
-            PosPolicy(seed),
-            max_steps=program.max_steps or 20000,
-            sanitizers=sanitizers,
-        ).run()
-        steps += result.steps
-    return steps, time.perf_counter() - start
+    """Total executor steps and best wall seconds over ``executions`` runs."""
+    best_steps = 0
+    best_wall = float("inf")
+    for _ in range(SAMPLES):
+        steps = 0
+        start = time.perf_counter()
+        for seed in range(executions):
+            sanitizers = build_stack(names) if names else None
+            result = Executor(
+                program,
+                PosPolicy(seed),
+                max_steps=program.max_steps or 20000,
+                sanitizers=sanitizers,
+            ).run()
+            steps += result.steps
+        wall = time.perf_counter() - start
+        if wall < best_wall:
+            best_steps, best_wall = steps, wall
+    return best_steps, best_wall
 
 
 def test_sanitizer_overhead_within_budget():

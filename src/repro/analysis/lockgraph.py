@@ -53,24 +53,41 @@ def lock_order_on_event(
     """One lock-order step: update held stacks and graph ``edges``.
 
     Shared verbatim by the offline :class:`LockGraphAnalyzer` and the online
-    ``OnlineLockOrderSanitizer`` so the two agree by construction.
+    ``OnlineLockOrderSanitizer`` so the two agree by construction.  Events
+    that are not lock operations (the vast majority of a data-heavy trace)
+    return without touching ``held`` at all.
     """
-    stack = held.setdefault(event.tid, [])
-    if event.kind == "lock" or (event.kind == "trylock" and event.value):
+    kind = event.kind
+    if kind == "lock" or (kind == "trylock" and event.value):
+        tid = event.tid
+        location = event.location
+        stack = held.get(tid)
+        if stack is None:
+            held[tid] = [location]
+            return
         for outer in stack:
-            edges.setdefault((outer, event.location), set()).add(event.tid)
-        stack.append(event.location)
-    elif event.kind == "unlock":
-        if event.location in stack:
+            threads = edges.get((outer, location))
+            if threads is None:
+                threads = edges[(outer, location)] = set()
+            threads.add(tid)
+        stack.append(location)
+    elif kind == "unlock":
+        stack = held.get(event.tid)
+        if stack is not None and event.location in stack:
             stack.remove(event.location)
-    elif event.kind == "wait":
+    elif kind == "wait":
         # Waiting releases the mutex named by the event's aux.
-        if event.aux in stack:
+        stack = held.get(event.tid)
+        if stack is not None and event.aux in stack:
             stack.remove(event.aux)
 
 
 def cycle_predictions(edges: dict[tuple[str, str], set[int]]) -> list[DeadlockPrediction]:
     """Inter-thread cycles of the lock-order graph spanned by ``edges``."""
+    if not edges:
+        # No nested acquisitions anywhere in the trace: the graph has no
+        # edges, hence no cycles — skip building a DiGraph per execution.
+        return []
     graph = nx.DiGraph()
     for (outer, inner), threads in edges.items():
         graph.add_edge(outer, inner, threads=threads)

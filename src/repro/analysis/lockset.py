@@ -77,6 +77,10 @@ class _Shadow:
     reported: bool = False
 
 
+#: Kinds the Eraser state machine treats as data accesses.
+_DATA_KINDS = frozenset(_READ_KINDS) | frozenset(_WRITE_KINDS)
+
+
 def eraser_on_event(
     event,
     held: dict[int, set[str]],
@@ -87,41 +91,63 @@ def eraser_on_event(
     """One Eraser step: update ``held``/``shadows``/``joined`` for ``event``.
 
     Shared verbatim by the offline :class:`LocksetAnalyzer` and the online
-    ``OnlineLocksetSanitizer`` so the two agree by construction.
+    ``OnlineLocksetSanitizer`` so the two agree by construction.  Event
+    kinds are mutually exclusive, so the branches below test the common
+    data-access case first and only materialise per-thread / per-location
+    state on the paths that actually read or mutate it.
     """
-    holder = held.setdefault(event.tid, set())
-    if event.kind == "lock" or (event.kind == "trylock" and event.value):
+    tid = event.tid
+    kind = event.kind
+    if kind in _DATA_KINDS:
+        location = event.location
+        if not location.startswith(_DATA_PREFIXES):
+            return
+        holder = held.get(tid)
+        if holder is None:
+            holder = held[tid] = set()
+        shadow = shadows.get(location)
+        if shadow is None:
+            shadow = shadows[location] = _Shadow()
+        # Join-awareness (the classic Eraser false-positive fix): when
+        # every other thread that ever touched the location has been
+        # joined by the current thread, ownership has transferred — the
+        # location re-enters the exclusive regime.
+        jmine = joined.get(tid)
+        if jmine:
+            others = shadow.accessors - {tid}
+            if others and others <= jmine:
+                shadow.state = LocationState.EXCLUSIVE
+                shadow.first_thread = tid
+                shadow.accessors = {tid}
+        shadow.accessors.add(tid)
+        _step(shadow, event, holder, report, kind in _WRITE_KINDS)
+        return
+    if kind == "lock" or (kind == "trylock" and event.value):
+        holder = held.get(tid)
+        if holder is None:
+            holder = held[tid] = set()
         holder.add(event.location)
         return
-    if event.kind == "unlock":
-        holder.discard(event.location)
+    if kind == "unlock":
+        holder = held.get(tid)
+        if holder is not None:
+            holder.discard(event.location)
         return
-    if event.kind == "wait":
+    if kind == "wait":
         # Waiting releases the mutex (named by the event's aux);
         # the later re-acquire shows up as a separate lock event.
-        holder.discard(event.aux)
+        holder = held.get(tid)
+        if holder is not None:
+            holder.discard(event.aux)
         return
-    if event.kind == "join" and isinstance(event.aux, int):
-        mine = joined.setdefault(event.tid, set())
+    if kind == "join" and isinstance(event.aux, int):
+        mine = joined.get(tid)
+        if mine is None:
+            mine = joined[tid] = set()
         mine.add(event.aux)
-        mine |= joined.get(event.aux, set())
-        return
-    is_read = event.kind in _READ_KINDS
-    is_write = event.kind in _WRITE_KINDS
-    if not (is_read or is_write) or not event.location.startswith(_DATA_PREFIXES):
-        return
-    shadow = shadows.setdefault(event.location, _Shadow())
-    # Join-awareness (the classic Eraser false-positive fix): when
-    # every other thread that ever touched the location has been
-    # joined by the current thread, ownership has transferred — the
-    # location re-enters the exclusive regime.
-    others = shadow.accessors - {event.tid}
-    if others and others <= joined.get(event.tid, set()):
-        shadow.state = LocationState.EXCLUSIVE
-        shadow.first_thread = event.tid
-        shadow.accessors = {event.tid}
-    shadow.accessors.add(event.tid)
-    _step(shadow, event, holder, report)
+        theirs = joined.get(event.aux)
+        if theirs:
+            mine |= theirs
 
 
 def eraser_finish(shadows: dict[str, _Shadow], report: LocksetReport) -> None:
@@ -132,7 +158,7 @@ def eraser_finish(shadows: dict[str, _Shadow], report: LocksetReport) -> None:
             report.candidate_locksets[location] = frozenset(shadow.candidates)
 
 
-def _step(shadow: _Shadow, event, holder: set[str], report: LocksetReport) -> None:
+def _step(shadow: _Shadow, event, holder: set[str], report: LocksetReport, is_write: bool) -> None:
     if shadow.state is LocationState.VIRGIN:
         shadow.state = LocationState.EXCLUSIVE
         shadow.first_thread = event.tid
@@ -148,15 +174,11 @@ def _step(shadow: _Shadow, event, holder: set[str], report: LocksetReport) -> No
             return
         assert shadow.candidates is not None
         shadow.candidates &= holder
-        shadow.state = (
-            LocationState.SHARED_MODIFIED
-            if event.kind in _WRITE_KINDS
-            else LocationState.SHARED
-        )
+        shadow.state = LocationState.SHARED_MODIFIED if is_write else LocationState.SHARED
     else:
         assert shadow.candidates is not None
         shadow.candidates &= holder
-        if event.kind in _WRITE_KINDS:
+        if is_write:
             shadow.state = LocationState.SHARED_MODIFIED
     if (
         shadow.state is LocationState.SHARED_MODIFIED

@@ -129,6 +129,25 @@ class Sanitizer:
         return []
 
 
+#: Flat per-kind dispatch for the race sanitizer: one dict lookup replaces
+#: the original chain of equality / set-membership tests.  Built from the
+#: same hb.py kind sets, with the same precedence as the original chain
+#: (spawn/join/signal/broadcast are checked before generic sync kinds).
+_READ, _WRITE, _SYNC_ACQ_REL, _SYNC_REL, _WAKE, _SPAWN, _JOIN = range(1, 8)
+_KIND_ACTIONS: dict[str, int] = {}
+for _kind in PLAIN_READS:
+    _KIND_ACTIONS[_kind] = _READ
+for _kind in PLAIN_WRITES:
+    _KIND_ACTIONS[_kind] = _WRITE
+for _kind in SYNC_KINDS:
+    _KIND_ACTIONS[_kind] = _SYNC_ACQ_REL if _kind in ACQUIRE_KINDS else _SYNC_REL
+_KIND_ACTIONS["signal"] = _WAKE
+_KIND_ACTIONS["broadcast"] = _WAKE
+_KIND_ACTIONS["spawn"] = _SPAWN
+_KIND_ACTIONS["join"] = _JOIN
+del _kind
+
+
 class OnlineRaceSanitizer(Sanitizer):
     """Epoch-optimized FastTrack happens-before race detection, online.
 
@@ -157,81 +176,102 @@ class OnlineRaceSanitizer(Sanitizer):
         return clock
 
     def on_event(self, event: Event) -> None:
+        # Flattened single-lookup dispatch (one dict get on the kind instead
+        # of a chain of set-membership tests), with the vector-clock tick
+        # and all epoch comparisons inlined on the plain read/write paths —
+        # every branch mirrors HbRaceDetector._handle decision-for-decision.
         tid = event.tid
-        clock = self._clock(tid)
-        clock.tick(tid)
-        kind = event.kind
-        if kind == "spawn" and isinstance(event.aux, int):
-            self._thread_clocks[event.aux] = clock.copy()
+        thread_clocks = self._thread_clocks
+        clock = thread_clocks.get(tid)
+        if clock is None:
+            clock = thread_clocks[tid] = VectorClock()
+        cl = clock._clocks
+        epoch = cl.get(tid, 0) + 1
+        cl[tid] = epoch
+        action = _KIND_ACTIONS.get(event.kind)
+        if action is None:
             return
-        if kind == "join" and isinstance(event.aux, int):
-            target = self._thread_clocks.get(event.aux)
-            if target is not None:
-                clock.join(target)
+        if action == _READ:
+            location = event.location
+            if not location.startswith(DATA_PREFIXES):
+                return
+            last_write = self._writes.get(location)
+            if last_write is not None:
+                write, write_epoch = last_write
+                # Epoch check: write_clock.leq(clock) iff the reader's view
+                # of the writer thread has reached the write's own tick.
+                write_tid = write.tid
+                if write_tid != tid and cl.get(write_tid, 0) < write_epoch:
+                    self.report.races.append(Race(location, write, event))
+            reads = self._reads.get(location)
+            if reads is None:
+                reads = self._reads[location] = {}
+            reads[tid] = (event, epoch)
             return
-        if kind in ("signal", "broadcast"):
+        if action == _WRITE:
+            location = event.location
+            if not location.startswith(DATA_PREFIXES):
+                return
+            races = self.report.races
+            last_write = self._writes.get(location)
+            if last_write is not None:
+                write, write_epoch = last_write
+                write_tid = write.tid
+                if write_tid != tid and cl.get(write_tid, 0) < write_epoch:
+                    races.append(Race(location, write, event))
+            reads = self._reads.get(location)
+            if reads:
+                for reader_tid, (read, read_epoch) in reads.items():
+                    if reader_tid != tid and cl.get(reader_tid, 0) < read_epoch:
+                        races.append(Race(location, read, event))
+                reads.clear()
+            self._writes[location] = (event, epoch)
+            return
+        if action == _SYNC_ACQ_REL or action == _SYNC_REL:
+            location = event.location
+            if action == _SYNC_ACQ_REL:
+                released = self._release_clocks.get(location)
+                if released is not None:
+                    clock.join(released)
+            self._release_clocks[location] = clock.copy()
+            return
+        if action == _WAKE:
             self._release_clocks[event.location] = clock.copy()
             for woken in event.aux or ():
                 # The signaller's history happens-before the wakeup.
                 self._clock(woken).join(clock)
             return
-        if kind in SYNC_KINDS:
-            # Acquire-release synchronization on the event's location.
-            if kind in ACQUIRE_KINDS:
-                released = self._release_clocks.get(event.location)
-                if released is not None:
-                    clock.join(released)
-            self._release_clocks[event.location] = clock.copy()
+        if action == _SPAWN:
+            if isinstance(event.aux, int):
+                thread_clocks[event.aux] = clock.copy()
             return
-        if not event.location.startswith(DATA_PREFIXES):
-            return
-        if kind in PLAIN_READS:
-            self._on_read(event, clock)
-        elif kind in PLAIN_WRITES:
-            self._on_write(event, clock)
-
-    def _on_read(self, event: Event, clock: VectorClock) -> None:
-        last_write = self._writes.get(event.location)
-        if last_write is not None:
-            write, write_epoch = last_write
-            # Epoch check: write_clock.leq(clock) iff the reader's view of
-            # the writer thread has reached the write's own tick.
-            if write.tid != event.tid and clock.get(write.tid) < write_epoch:
-                self.report.races.append(Race(event.location, write, event))
-        reads = self._reads.get(event.location)
-        if reads is None:
-            reads = self._reads[event.location] = {}
-        reads[event.tid] = (event, clock.get(event.tid))
-
-    def _on_write(self, event: Event, clock: VectorClock) -> None:
-        last_write = self._writes.get(event.location)
-        if last_write is not None:
-            write, write_epoch = last_write
-            if write.tid != event.tid and clock.get(write.tid) < write_epoch:
-                self.report.races.append(Race(event.location, write, event))
-        reads = self._reads.get(event.location)
-        if reads:
-            for reader_tid, (read, read_epoch) in reads.items():
-                if reader_tid != event.tid and clock.get(reader_tid) < read_epoch:
-                    self.report.races.append(Race(event.location, read, event))
-            reads.clear()
-        self._writes[event.location] = (event, clock.get(event.tid))
+        # _JOIN
+        if isinstance(event.aux, int):
+            target = thread_clocks.get(event.aux)
+            if target is not None:
+                clock.join(target)
 
     def finish(self) -> list[SanitizerReport]:
         reports: list[SanitizerReport] = []
-        seen: set[tuple[str, str, str, str]] = set()
+        seen: set[tuple] = set()
         for race in self.report.races:
-            report = SanitizerReport(
-                sanitizer=self.name,
-                kind=race.kind,
-                location=race.location,
-                pair=(str(race.first.abstract), str(race.second.abstract)),
-                message=str(race),
-                eids=(race.first.eid, race.second.eid),
+            # The abstract pair determines the dedup_key (race.kind derives
+            # from the events' kinds, the pair strings from their abstracts),
+            # so deduplicate *before* paying for the report's strings.
+            key = (race.first.abstract, race.second.abstract)
+            if key in seen:
+                continue
+            seen.add(key)
+            reports.append(
+                SanitizerReport(
+                    sanitizer=self.name,
+                    kind=race.kind,
+                    location=race.location,
+                    pair=(str(race.first.abstract), str(race.second.abstract)),
+                    message=str(race),
+                    eids=(race.first.eid, race.second.eid),
+                )
             )
-            if report.dedup_key not in seen:
-                seen.add(report.dedup_key)
-                reports.append(report)
         return reports
 
 
@@ -285,15 +325,19 @@ class OnlineLockOrderSanitizer(Sanitizer):
     name = "lockorder"
 
     def __init__(self) -> None:
+        # Deferred import (lockgraph pulls in networkx at module top); bound
+        # once per instance so on_event pays a plain attribute load, not an
+        # import-machinery round trip per event.
+        from repro.analysis.lockgraph import lock_order_on_event
+
         self._held: dict[int, list[str]] = {}
         self._edges: dict[tuple[str, str], set[int]] = {}
+        self._on_event = lock_order_on_event
         #: The offline-equivalent report, populated by :meth:`finish`.
         self.report = None
 
     def on_event(self, event: Event) -> None:
-        from repro.analysis.lockgraph import lock_order_on_event
-
-        lock_order_on_event(event, self._held, self._edges)
+        self._on_event(event, self._held, self._edges)
 
     def finish(self) -> list[SanitizerReport]:
         from repro.analysis.lockgraph import LockGraphReport, cycle_predictions

@@ -16,20 +16,27 @@ class VectorClock:
         self._clocks: dict[int, int] = dict(clocks or {})
 
     def copy(self) -> "VectorClock":
-        return VectorClock(self._clocks)
+        # Skips __init__ — clock copies happen per sync event on the online
+        # sanitizer hot path.
+        clone = VectorClock.__new__(VectorClock)
+        clone._clocks = self._clocks.copy()
+        return clone
 
     def get(self, tid: int) -> int:
         return self._clocks.get(tid, 0)
 
     def tick(self, tid: int) -> None:
         """Advance one thread's component (a new event on that thread)."""
-        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+        clocks = self._clocks
+        clocks[tid] = clocks.get(tid, 0) + 1
 
     def join(self, other: "VectorClock") -> None:
         """Pointwise maximum: acquire/join semantics."""
+        mine = self._clocks
+        get = mine.get
         for tid, clock in other._clocks.items():
-            if clock > self._clocks.get(tid, 0):
-                self._clocks[tid] = clock
+            if clock > get(tid, 0):
+                mine[tid] = clock
 
     def leq(self, other: "VectorClock") -> bool:
         """``self <= other`` pointwise: self happens-before-or-equals other."""

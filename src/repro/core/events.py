@@ -7,11 +7,20 @@ thread — ``ea = op(x)@l`` — so that, e.g., the first write of every setter
 thread in ``reorder_100`` collapses to a single abstract event.  That
 collapse is what shrinks the search space from exponentially many concrete
 schedules to a handful of abstract ones (25 for ``reorder_100``).
+
+Because the universe of abstract events is bounded by the program's
+instrumentation points (not by execution length), they are *interned*: the
+module-level table keyed on ``(kind, location, loc)`` hands out one shared
+instance per distinct abstract event, so the millions of per-execution
+``Event.abstract`` calls in trace/feedback/mutation code stop allocating.
+Interned instances are plain :class:`AbstractEvent` values — they compare
+and hash identically to freshly constructed ones (equality stays purely
+structural); interning only makes ``is`` coincide with ``==``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -22,14 +31,14 @@ class AbstractEvent:
     kind: str
     location: str
     loc: str
+    #: Read/write participation, precomputed at construction (excluded from
+    #: equality/hash/repr, which only ever use kind/location/loc).
+    is_read: bool = field(default=False, init=False, repr=False, compare=False)
+    is_write: bool = field(default=False, init=False, repr=False, compare=False)
 
-    @property
-    def is_read(self) -> bool:
-        return self.kind in _READ_KINDS
-
-    @property
-    def is_write(self) -> bool:
-        return self.kind in _WRITE_KINDS
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_read", self.kind in _READ_KINDS)
+        object.__setattr__(self, "is_write", self.kind in _WRITE_KINDS)
 
     def __str__(self) -> str:
         return f"{self.kind}({self.location})@{self.loc}"
@@ -56,8 +65,21 @@ _WRITE_KINDS = frozenset(
     }
 )
 
+#: The process-global abstract-event intern table.  Grows with the number of
+#: distinct instrumentation points ever seen, which is small and bounded by
+#: program text, not by execution count.
+_INTERNED: dict[tuple[str, str, str], AbstractEvent] = {}
 
-@dataclass(frozen=True, slots=True)
+
+def intern_abstract(kind: str, location: str, loc: str) -> AbstractEvent:
+    """The canonical shared :class:`AbstractEvent` for ``op(x)@l``."""
+    key = (kind, location, loc)
+    cached = _INTERNED.get(key)
+    if cached is None:
+        cached = _INTERNED[key] = AbstractEvent(kind, location, loc)
+    return cached
+
+
 class Event:
     """A concrete event ``<id, t, op(x)@l>`` plus its reads-from edge.
 
@@ -71,20 +93,44 @@ class Event:
     the spawned thread id for ``spawn`` events, the joined thread id for
     ``join`` events, and the tuple of woken thread ids for ``signal`` /
     ``broadcast`` events.
+
+    A hand-written slotted class rather than a frozen dataclass: one Event
+    is constructed per executed step, and the frozen-dataclass ``__init__``
+    (one ``object.__setattr__`` per field) was measurable on the executor
+    hot path.  Equality, hashing and repr match the former frozen dataclass
+    exactly (all eight public fields, in order).
     """
 
-    eid: int
-    tid: int
-    kind: str
-    location: str
-    loc: str
-    rf: int | None = None
-    value: Any = None
-    aux: Any = None
+    __slots__ = ("eid", "tid", "kind", "location", "loc", "rf", "value", "aux", "_abstract")
+
+    def __init__(
+        self,
+        eid: int,
+        tid: int,
+        kind: str,
+        location: str,
+        loc: str,
+        rf: int | None = None,
+        value: Any = None,
+        aux: Any = None,
+    ):
+        self.eid = eid
+        self.tid = tid
+        self.kind = kind
+        self.location = location
+        self.loc = loc
+        self.rf = rf
+        self.value = value
+        self.aux = aux
+        #: Memoized interned abstract event (excluded from equality/repr).
+        self._abstract: AbstractEvent | None = None
 
     @property
     def abstract(self) -> AbstractEvent:
-        return AbstractEvent(self.kind, self.location, self.loc)
+        cached = self._abstract
+        if cached is None:
+            cached = self._abstract = intern_abstract(self.kind, self.location, self.loc)
+        return cached
 
     @property
     def is_read(self) -> bool:
@@ -93,6 +139,24 @@ class Event:
     @property
     def is_write(self) -> bool:
         return self.kind in _WRITE_KINDS
+
+    def _key(self):
+        return (self.eid, self.tid, self.kind, self.location, self.loc, self.rf, self.value, self.aux)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Event:
+            return self._key() == other._key()  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(eid={self.eid!r}, tid={self.tid!r}, kind={self.kind!r}, "
+            f"location={self.location!r}, loc={self.loc!r}, rf={self.rf!r}, "
+            f"value={self.value!r}, aux={self.aux!r})"
+        )
 
     def __str__(self) -> str:
         rf = f" rf={self.rf}" if self.rf is not None else ""

@@ -6,6 +6,12 @@ abstract reads-from pair never seen in any schedule of the corpus, or
 crashing inputs regardless of coverage.  The tracker also counts how often
 each full rf *signature* (the ≡rf class) has been observed, which feeds both
 the power schedule's frequency term f(α) and the RQ3 histogram (Figure 5).
+
+Novelty is computed over *interned pair ids* (small ints the executor
+collects while recording events) with plain set difference, instead of
+rebuilding frozensets of abstract-event tuples per execution; the public
+``seen_pairs`` / ``Observation.new_pairs`` views keep their original pair
+types, materialised only for genuinely new pairs.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.core.trace import RfPair, Trace
+from repro.core.trace import RfPair, Trace, rf_pair_for_id
+
+_NO_PAIRS: frozenset[RfPair] = frozenset()
 
 
 @dataclass
@@ -44,18 +52,26 @@ class RfFeedback:
     seen_pairs: set[RfPair] = field(default_factory=set)
     signature_counts: Counter = field(default_factory=Counter)
     executions: int = 0
+    #: Interned pair ids behind ``seen_pairs``: the actual novelty set.
+    _seen_ids: set[int] = field(default_factory=set, repr=False)
 
     def observe(self, trace: Trace) -> Observation:
         """Record one trace; returns the novelty summary."""
-        pairs = trace.rf_pairs()
-        new = frozenset(p for p in pairs if p not in self.seen_pairs)
-        self.seen_pairs.update(new)
-        signature = frozenset(pairs)
-        first_time = self.signature_counts[signature] == 0
-        self.signature_counts[signature] += 1
+        pair_ids = trace.rf_pair_ids()
+        signature = trace.rf_signature()
+        seen_ids = self._seen_ids
+        new_ids = pair_ids - seen_ids
+        if new_ids:
+            seen_ids |= new_ids
+            new = frozenset([rf_pair_for_id(pid) for pid in new_ids])
+            self.seen_pairs.update(new)
+        else:
+            new = _NO_PAIRS
+        count = self.signature_counts[signature]
+        self.signature_counts[signature] = count + 1
         self.executions += 1
         return Observation(
-            new_pairs=new, signature=signature, crashed=trace.crashed, new_signature=first_time
+            new_pairs=new, signature=signature, crashed=trace.crashed, new_signature=count == 0
         )
 
     def frequency(self, signature: frozenset[RfPair]) -> int:

@@ -194,12 +194,24 @@ class RffSchedulerPolicy(SeededPolicy):
         self.trackers = [make_tracker(c) for c in sorted(self.schedule.constraints, key=str)]
 
     def choose(self, candidates: "list[Candidate]", execution: "Executor") -> "Candidate":
+        if len(candidates) == 1:
+            # Forced step: trackers cannot change the outcome and have no
+            # side effects in bias; draw the POS score (as the tier arg-max
+            # would) so the rng stream stays identical.
+            only = candidates[0]
+            self.pos.score_of(only, execution)
+            return only
+        # Inactive trackers are always NEUTRAL — prefilter them once per
+        # step instead of querying each per candidate.
+        active = [t for t in self.trackers if t.state is TrackerState.ACTIVE]
+        if not active:
+            return self.pos.choose(candidates, execution)
         prioritized: list["Candidate"] = []
         neutral: list["Candidate"] = []
         deprioritized: list["Candidate"] = []
         for candidate in candidates:
             boost = delay = False
-            for tracker in self.trackers:
+            for tracker in active:
                 opinion = tracker.bias(candidate, execution)
                 if opinion is Bias.PRIORITIZE:
                     boost = True
@@ -212,11 +224,14 @@ class RffSchedulerPolicy(SeededPolicy):
             else:
                 neutral.append(candidate)
         tier = prioritized or neutral or deprioritized
-        return max(tier, key=lambda c: self.pos.score_of(c, execution))
+        # PosPolicy.choose is the same first-maximal arg-max (and the same
+        # score-draw order) as max(tier, key=score_of).
+        return self.pos.choose(tier, execution)
 
     def notify(self, event: "Event", execution: "Executor") -> None:
         for tracker in self.trackers:
-            tracker.observe(event, execution)
+            if tracker.state is TrackerState.ACTIVE:
+                tracker.observe(event, execution)
         self.pos.notify(event, execution)
 
     # -- campaign feedback ---------------------------------------------

@@ -7,6 +7,15 @@ and the same reads-from function.  The hashable :meth:`Trace.rf_signature`
 canonically summarises the equivalence class and drives both the fuzzer's
 novelty feedback (Section 3, "Reads-from feedback") and the RQ3 frequency
 histograms (Figure 5).
+
+Abstract rf pairs are *interned* alongside abstract events: every distinct
+``(writer, reader)`` pair (with both sides already-interned abstract events)
+receives a small integer id from a process-global table.  The executor
+collects these ids incrementally while recording events, so for
+executor-produced traces :meth:`Trace.rf_pairs` / :meth:`Trace.rf_signature`
+are O(1) memoized lookups; only sliced/minimized traces fall back to the
+full re-scan.  The memo is invalidated when the event count changes, the
+same discipline as the lazily built eid index.
 """
 
 from __future__ import annotations
@@ -20,6 +29,48 @@ from repro.core.events import AbstractEvent, Event
 #: The writer side is ``None`` when the read observed the location's initial
 #: value (the paper's initial pseudo-write at "line 1").
 RfPair = tuple[AbstractEvent | None, AbstractEvent]
+
+#: Intern table for abstract rf pairs.  Keyed on the *identities* of the
+#: interned abstract events (0 for the initial pseudo-write), which is sound
+#: because the abstract-event intern table keeps its singletons alive for
+#: the process lifetime.  Values are small dense ints usable in set
+#: arithmetic without hashing tuples.
+_PAIR_IDS: dict[tuple[int, int], int] = {}
+#: pair id -> the interned RfPair tuple.
+_PAIRS: list[RfPair] = []
+#: pair id -> a process-stable 64-bit mix of the pair, XOR-combined into the
+#: order-insensitive incremental signature hash (:meth:`Trace.rf_sig_hash`).
+_PAIR_HASHES: list[int] = []
+
+_HASH_MASK = (1 << 64) - 1
+
+
+def intern_rf_pair(writer: AbstractEvent | None, reader: AbstractEvent) -> int:
+    """The dense int id of the abstract rf pair ``(writer, reader)``.
+
+    Both sides must be interned abstract events (``Event.abstract`` /
+    :func:`repro.core.events.intern_abstract` always return those).
+    """
+    key = (0 if writer is None else id(writer), id(reader))
+    pid = _PAIR_IDS.get(key)
+    if pid is None:
+        pid = len(_PAIRS)
+        _PAIR_IDS[key] = pid
+        _PAIRS.append((writer, reader))
+        # hash() of the tuple is stable for the process, which is the scope
+        # of the pair-id table itself.
+        _PAIR_HASHES.append(hash((writer, reader)) & _HASH_MASK)
+    return pid
+
+
+def rf_pair_for_id(pid: int) -> RfPair:
+    """The interned ``(writer, reader)`` tuple behind a pair id."""
+    return _PAIRS[pid]
+
+
+def rf_pair_hash(pid: int) -> int:
+    """The 64-bit mix XOR-combined into incremental signature hashes."""
+    return _PAIR_HASHES[pid]
 
 
 @dataclass
@@ -38,6 +89,17 @@ class Trace:
         default=None, init=False, repr=False, compare=False
     )
     _eid_index_size: int = field(default=-1, init=False, repr=False, compare=False)
+    #: Memoized rf state (same invalidation discipline as the eid index):
+    #: the interned pair-id set, the pair frozenset doubling as the
+    #: signature, and the order-insensitive XOR signature hash.
+    _rf_ids: frozenset[int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _rf_pairs: frozenset[RfPair] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _rf_hash: int = field(default=0, init=False, repr=False, compare=False)
+    _rf_size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -73,31 +135,78 @@ class Trace:
         """Map each read event id to the event id of its writer (0 = initial)."""
         return {e.eid: e.rf for e in self.events if e.rf is not None}
 
-    def rf_pairs(self) -> set[RfPair]:
+    # -- reads-from memoization ------------------------------------------
+    def seed_rf_cache(self, pair_ids: set[int] | frozenset[int], sig_hash: int) -> None:
+        """Install the rf state collected incrementally during execution.
+
+        Called by the executor after the run: ``pair_ids`` are interned pair
+        ids for exactly the rf edges a full re-scan of the recorded events
+        would find (every writer of a recorded read is itself recorded), and
+        ``sig_hash`` is their XOR-combined incremental hash.
+        """
+        ids = frozenset(pair_ids)
+        self._rf_ids = ids
+        self._rf_pairs = frozenset([_PAIRS[pid] for pid in ids])
+        self._rf_hash = sig_hash
+        self._rf_size = len(self.events)
+
+    def _rf_compute(self) -> None:
+        """Fallback full scan (sliced/minimized or hand-built traces)."""
+        by_id = self._events_by_id()
+        ids: set[int] = set()
+        for event in self.events:
+            rf = event.rf
+            if rf is None:
+                continue
+            if rf == 0:
+                writer = None
+            else:
+                writer_event = by_id.get(rf)
+                if writer_event is None:
+                    # Pairs whose writer was dropped from the subsequence are
+                    # omitted — the edge is no longer witnessed by the trace.
+                    continue
+                writer = writer_event.abstract
+            ids.add(intern_rf_pair(writer, event.abstract))
+        sig_hash = 0
+        for pid in ids:
+            sig_hash ^= _PAIR_HASHES[pid]
+        self._rf_ids = frozenset(ids)
+        self._rf_pairs = frozenset([_PAIRS[pid] for pid in ids])
+        self._rf_hash = sig_hash
+        self._rf_size = len(self.events)
+
+    def rf_pair_ids(self) -> frozenset[int]:
+        """The interned pair ids of :meth:`rf_pairs` (the fast novelty set)."""
+        if self._rf_ids is None or self._rf_size != len(self.events):
+            self._rf_compute()
+        return self._rf_ids
+
+    def rf_pairs(self) -> frozenset[RfPair]:
         """The set of *abstract* reads-from pairs exercised by this trace.
 
         On an event subsequence (sliced or minimized traces), pairs whose
         writer event was dropped from the subsequence are omitted — the
         reads-from edge is no longer witnessed by the trace itself.
         """
-        by_id = self._events_by_id()
-        pairs: set[RfPair] = set()
-        for event in self.events:
-            if event.rf is None:
-                continue
-            if event.rf == 0:
-                writer = None
-            else:
-                writer_event = by_id.get(event.rf)
-                if writer_event is None:
-                    continue
-                writer = writer_event.abstract
-            pairs.add((writer, event.abstract))
-        return pairs
+        if self._rf_pairs is None or self._rf_size != len(self.events):
+            self._rf_compute()
+        return self._rf_pairs
 
     def rf_signature(self) -> frozenset[RfPair]:
         """Canonical hashable summary of the ``≡rf`` class of this trace."""
-        return frozenset(self.rf_pairs())
+        return self.rf_pairs()
+
+    def rf_sig_hash(self) -> int:
+        """Order-insensitive 64-bit hash of the rf signature.
+
+        XOR of the interned per-pair mixes, maintained incrementally by the
+        executor as reads land; a cheap process-local fingerprint for
+        signature comparisons without building or hashing frozensets.
+        """
+        if self._rf_ids is None or self._rf_size != len(self.events):
+            self._rf_compute()
+        return self._rf_hash
 
     def abstract_events(self) -> set[AbstractEvent]:
         """All abstract events observed, the pool mutations draw from."""

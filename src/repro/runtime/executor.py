@@ -7,17 +7,27 @@ by a single loop that, before every visible event, computes the set of
 runs next.  Execution is fully deterministic given the policy's decisions,
 which is what makes schedules replayable and the reads-from relation a
 stable feedback signal.
+
+Hot-path structure (PR 5): per-op-*type* dispatch tables replace the former
+``isinstance`` chains — ``_apply`` is a table of bound per-op handlers built
+once at init (subclasses override the ``_apply_*`` methods, see
+:class:`~repro.runtime.tso.TsoExecutor`), enabledness checks live in a
+module-level per-type table, each op's memory ``location`` is precomputed at
+op construction, ``_derive_loc`` labels are memoized per ``(code object,
+lineno)``, and abstract reads-from pairs are collected incrementally as
+interned pair ids while events are recorded, so :meth:`Trace.rf_pairs` is a
+memoized O(1) lookup after the run.  All of it is differentially pinned to
+the pre-optimization engine by ``tests/test_engine_differential.py``.
 """
 
 from __future__ import annotations
 
 import os
-import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Iterable
 
-from repro.core.events import AbstractEvent, Event
-from repro.core.trace import Trace
+from repro.core.events import AbstractEvent, Event, intern_abstract
+from repro.core.trace import Trace, intern_rf_pair, rf_pair_hash
 from repro.runtime import ops
 from repro.runtime.api import Api
 from repro.runtime.errors import (
@@ -68,7 +78,11 @@ class Candidate:
     @property
     def abstract(self) -> AbstractEvent:
         """The abstract event ``op(x)@l`` this candidate would produce."""
-        return AbstractEvent(self.kind, self.location, self.loc)
+        cached = self.__dict__.get("_abstract")
+        if cached is None:
+            cached = intern_abstract(self.kind, self.location, self.loc)
+            object.__setattr__(self, "_abstract", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"T{self.tid}:{self.kind}({self.location})@{self.loc}"
@@ -127,18 +141,38 @@ def _innermost_frame(gen: Generator) -> Any:
 _RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
+#: filename -> whether it lives in the runtime package (frame filter memo).
+_RUNTIME_FILE: dict[str, bool] = {}
+
+
 def _frames_from_traceback(tb) -> tuple[str, ...]:
     """Stable ``function:line`` frames of program code in a traceback.
 
     The labels match :func:`_derive_loc` (and thus event ``loc`` fields), so
     triage can hash exception frames and event frontiers interchangeably.
+    Walks the raw traceback directly — same ``name:lineno`` labels as
+    ``traceback.extract_tb`` without its linecache / code-position work,
+    which dominated crash-heavy executions.
     """
     frames = []
-    for entry in traceback.extract_tb(tb):
-        if os.path.dirname(os.path.abspath(entry.filename)) == _RUNTIME_DIR:
-            continue
-        frames.append(f"{entry.name}:{entry.lineno}")
+    while tb is not None:
+        code = tb.tb_frame.f_code
+        filename = code.co_filename
+        is_runtime = _RUNTIME_FILE.get(filename)
+        if is_runtime is None:
+            is_runtime = _RUNTIME_FILE[filename] = (
+                os.path.dirname(os.path.abspath(filename)) == _RUNTIME_DIR
+            )
+        if not is_runtime:
+            frames.append(f"{code.co_name}:{tb.tb_lineno}")
+        tb = tb.tb_next
     return tuple(frames)
+
+
+#: (code object, lineno) -> "name:lineno" label memo.  Process-global: the
+#: key space is bounded by program text (distinct yield points), and reusing
+#: labels across executions also keeps label strings shared.
+_LOC_LABELS: dict[tuple[Any, int], str] = {}
 
 
 def _derive_loc(gen: Generator) -> str:
@@ -146,43 +180,69 @@ def _derive_loc(gen: Generator) -> str:
 
     This plays the role of the source-code location ``l`` in abstract events:
     identical program points in different threads (or different executions)
-    receive identical labels.
+    receive identical labels.  Labels are memoized per (code object, lineno).
     """
-    frame, code = _innermost_frame(gen)
+    inner = gen
+    while True:
+        delegate = getattr(inner, "gi_yieldfrom", None)
+        if delegate is None or not hasattr(delegate, "gi_frame"):
+            break
+        inner = delegate
+    frame = getattr(inner, "gi_frame", None)
     if frame is not None:
-        return f"{frame.f_code.co_name}:{frame.f_lineno}"
+        key = (frame.f_code, frame.f_lineno)
+        label = _LOC_LABELS.get(key)
+        if label is None:
+            label = _LOC_LABELS[key] = f"{frame.f_code.co_name}:{frame.f_lineno}"
+        return label
+    code = getattr(inner, "gi_code", None)
     if code is not None:  # pragma: no cover - suspended generators have frames
         return f"{code.co_name}:?"
     return "?:?"
 
 
 def _op_location(op: ops.Op) -> str:
-    """The memory location ``x`` an operation acts on."""
-    if isinstance(op, (ops.ReadOp, ops.WriteOp, ops.RmwOp, ops.CasOp)):
-        return op.var.location
-    if isinstance(op, (ops.LockOp, ops.TryLockOp, ops.UnlockOp)):
-        return op.mutex.location
-    if isinstance(op, (ops.WaitOp, ops.SignalOp, ops.BroadcastOp)):
-        return op.cond.location
-    if isinstance(op, (ops.SemAcquireOp, ops.SemReleaseOp)):
-        return op.sem.location
-    if isinstance(op, ops.BarrierOp):
-        return op.barrier.location
-    if isinstance(op, ops.SpawnOp):
-        return "thread:spawn"
-    if isinstance(op, ops.JoinOp):
-        return "thread:join"
-    if isinstance(op, ops.YieldOp):
-        return "sched:yield"
-    if isinstance(op, ops.MallocOp):
-        return f"heapsite:{op.site}"
-    if isinstance(op, ops.FreeOp):
-        return f"heap:{op.obj.name}" if op.obj is not None else "heap:<null>"
-    if isinstance(op, (ops.HeapReadOp, ops.HeapWriteOp)):
-        if op.obj is None:
-            return "heap:<null>"
-        return op.obj.location_of(op.field_name)
-    raise ProgramError(f"unknown operation {op!r}")
+    """The memory location ``x`` an operation acts on.
+
+    Locations are precomputed at op construction (see
+    :meth:`repro.runtime.ops.Op.__post_init__`); this accessor remains as
+    the stable entry point for scheduler policies.
+    """
+    return op.location
+
+
+#: Per-op-type enabledness checks; op types absent from the table are always
+#: enabled.  Keyed on the concrete class (ops are never subclassed).
+_ENABLED_CHECKS = {
+    ops.LockOp: lambda op: not op.mutex.held,
+    ops.JoinOp: lambda op: op.handle.finished,
+    ops.SemAcquireOp: lambda op: op.sem.count > 0,
+}
+
+#: Op type -> name of the Executor method applying it.  Bound per instance
+#: at init (so subclass overrides of individual handlers are honoured).
+_APPLY_METHODS: dict[type[ops.Op], str] = {
+    ops.ReadOp: "_apply_read",
+    ops.WriteOp: "_apply_write",
+    ops.RmwOp: "_apply_rmw",
+    ops.CasOp: "_apply_cas",
+    ops.LockOp: "_apply_lock",
+    ops.TryLockOp: "_apply_trylock",
+    ops.UnlockOp: "_apply_unlock",
+    ops.WaitOp: "_apply_wait",
+    ops.SignalOp: "_apply_signal",
+    ops.BroadcastOp: "_apply_broadcast",
+    ops.SemAcquireOp: "_apply_sem_acquire",
+    ops.SemReleaseOp: "_apply_sem_release",
+    ops.BarrierOp: "_apply_barrier",
+    ops.SpawnOp: "_apply_spawn",
+    ops.JoinOp: "_apply_join",
+    ops.YieldOp: "_apply_yield",
+    ops.MallocOp: "_apply_malloc",
+    ops.FreeOp: "_apply_free",
+    ops.HeapReadOp: "_apply_heap_read",
+    ops.HeapWriteOp: "_apply_heap_write",
+}
 
 
 class Executor:
@@ -212,6 +272,33 @@ class Executor:
         #: location -> event id of last write (absent = initial pseudo-write 0).
         self._last_write: dict[str, int] = {}
         self._last_write_event: dict[str, Event] = {}
+        #: Count of unfinished threads (maintained by _advance/_spawn).
+        self._live_threads = 0
+        #: Threads scanned by enabled_candidates: ``self.threads`` minus
+        #: finished ones, pruned lazily (tid order preserved by removal).
+        self._scan_threads: list[ThreadState] = []
+        self._scan_dirty = False
+        #: Interned abstract rf pair ids seen so far, plus their running
+        #: order-insensitive XOR hash; seeds the trace's rf memo after run().
+        self._rf_pair_ids: set[int] = set()
+        self._rf_sig_hash = 0
+        #: Reused enabled-candidates buffer.  The returned list is only
+        #: valid until the next enabled_candidates() call; every consumer
+        #: (main loop, policies, exploration logs) copies what it retains.
+        self._candidates_buf: list[Candidate] = []
+        #: Prebound sanitizer on_event hooks (hot streaming path).
+        self._san_on_event = tuple(s.on_event for s in self.sanitizers)
+        #: Per-op-type apply dispatch table: unbound handler functions,
+        #: resolved once per concrete Executor class (so subclass overrides
+        #: of individual ``_apply_*`` methods are honoured) and shared by
+        #: all instances — executor construction itself is a hot path for
+        #: short crashing programs.
+        cls = type(self)
+        table = cls.__dict__.get("_apply_table")
+        if table is None:
+            table = {op_type: getattr(cls, name) for op_type, name in _APPLY_METHODS.items()}
+            cls._apply_table = table
+        self._apply_table = table
 
     # ------------------------------------------------------------------
     # Introspection used by scheduler policies
@@ -232,7 +319,7 @@ class Executor:
         return len(self.threads)
 
     def live_thread_count(self) -> int:
-        return sum(1 for t in self.threads if not t.finished)
+        return self._live_threads
 
     # ------------------------------------------------------------------
     # Main loop
@@ -242,6 +329,8 @@ class Executor:
         main_gen = self.program.main(self.api)
         main_thread = ThreadState(0, "main", main_gen)
         self.threads.append(main_thread)
+        self._scan_threads.append(main_thread)
+        self._live_threads += 1
         for sanitizer in self.sanitizers:
             sanitizer.on_thread_start(0, None)
         truncated = False
@@ -249,34 +338,44 @@ class Executor:
         watchdog = self._watchdog
         if watchdog is not None:
             watchdog.start()
-        self.policy.begin(self)
+        policy = self.policy
+        policy.begin(self)
+        # Hoist per-step lookups out of the loop: these attributes are
+        # stable for the lifetime of the run.
+        choose = policy.choose
+        notify = policy.notify
+        execute = self._execute
+        enabled_candidates = self.enabled_candidates
+        events = self.trace.events
+        max_steps = self.max_steps
         try:
             self._advance(main_thread, None)
-            while True:
-                if self._all_done():
-                    break
-                if self.step_index >= self.max_steps:
+            while not self._all_done():
+                if len(events) >= max_steps:
                     truncated = True
                     break
                 if watchdog is not None:
-                    watchdog.check_step(self.step_index, self._frontier_frames)
-                candidates = self.enabled_candidates()
+                    watchdog.check_step(len(events), self._frontier_frames)
+                candidates = enabled_candidates()
                 if not candidates:
                     blocked = tuple(t.tid for t in self.threads if not t.finished)
                     error = DeadlockDetected(blocked)
                     error.frames = self._frontier_frames()
                     raise error
-                choice = self.policy.choose(candidates, self)
+                choice = choose(candidates, self)
                 if choice not in candidates:
                     raise SchedulerError(f"policy chose {choice}, not an enabled candidate")
-                event = self._execute(choice)
-                self.policy.notify(event, self)
+                event = execute(choice)
+                notify(event, self)
                 if watchdog is not None:
                     watchdog.after_event(event)
         except RuntimeViolation as violation:
             self.trace.outcome = violation.kind
             self.trace.failure = str(violation)
             failure_frames = tuple(violation.frames) or self._frontier_frames()
+        # Hand the incrementally collected rf state to the trace, making
+        # rf_pairs()/rf_signature() O(1) memoized lookups for this trace.
+        self.trace.seed_rf_cache(self._rf_pair_ids, self._rf_sig_hash)
         reports: list["SanitizerReport"] = []
         for sanitizer in self.sanitizers:
             reports.extend(sanitizer.finish())
@@ -319,35 +418,46 @@ class Executor:
     def _all_done(self) -> bool:
         """Whether the execution has fully completed (hook for subclasses
         with extra pending work, e.g. unflushed TSO store buffers)."""
-        return all(t.finished for t in self.threads)
+        return self._live_threads == 0
 
     def enabled_candidates(self) -> list[Candidate]:
-        """All runnable threads whose pending operation can execute now."""
-        out = []
-        for thread in self.threads:
-            if thread.status is not ThreadStatus.RUNNABLE or thread.pending is None:
+        """All runnable threads whose pending operation can execute now.
+
+        Returns a preallocated buffer reused across calls: the list is only
+        valid until the next call (consumers that retain candidates copy
+        them, which every in-tree policy and explorer already does).
+        """
+        if self._scan_dirty:
+            # Prune finished threads (irreversible state) from the scan
+            # list; removal keeps the list tid-ordered, preserving the
+            # candidate order policies observe.
+            self._scan_threads = [t for t in self._scan_threads if t.status is not ThreadStatus.FINISHED]
+            self._scan_dirty = False
+        out = self._candidates_buf
+        out.clear()
+        append = out.append
+        checks = _ENABLED_CHECKS
+        runnable = ThreadStatus.RUNNABLE
+        for thread in self._scan_threads:
+            if thread.status is not runnable:
                 continue
-            if self._op_enabled(thread, thread.pending):
-                candidate = thread.cached_candidate
-                if candidate is None:
-                    candidate = Candidate(
-                        tid=thread.tid,
-                        kind=thread.pending.kind,
-                        location=_op_location(thread.pending),
-                        loc=thread.pending_loc,
-                    )
-                    thread.cached_candidate = candidate
-                out.append(candidate)
+            op = thread.pending
+            if op is None:
+                continue
+            if op.may_block:
+                check = checks.get(op.__class__)
+                if check is not None and not check(op):
+                    continue
+            candidate = thread.cached_candidate
+            if candidate is None:
+                candidate = Candidate(thread.tid, op.kind, op.location, thread.pending_loc)
+                thread.cached_candidate = candidate
+            append(candidate)
         return out
 
     def _op_enabled(self, thread: ThreadState, op: ops.Op) -> bool:
-        if isinstance(op, ops.LockOp):
-            return not op.mutex.held
-        if isinstance(op, ops.JoinOp):
-            return op.handle.finished
-        if isinstance(op, ops.SemAcquireOp):
-            return op.sem.count > 0
-        return True
+        check = _ENABLED_CHECKS.get(op.__class__)
+        return True if check is None else check(op)
 
     # ------------------------------------------------------------------
     # Event execution
@@ -358,33 +468,36 @@ class Executor:
         if op is None:  # pragma: no cover - guarded by enabled_candidates
             raise SchedulerError(f"thread {choice.tid} has no pending op")
         eid = self._next_eid
-        self._next_eid += 1
-        rf: int | None = None
-        value: Any = None
-        resume: Any = None
-        advance_now = True
-        aux: Any = None
+        self._next_eid = eid + 1
+        location = op.location
         crash: RuntimeViolation | None = None
-        location = _op_location(op)
+        handler = self._apply_table.get(op.__class__)
+        if handler is None:  # pragma: no cover - exhaustive over the ops vocabulary
+            raise ProgramError(f"unhandled operation {op!r}")
         try:
-            rf, value, resume, advance_now, aux = self._apply(thread, op, eid, location)
+            rf, value, resume, advance_now, aux = handler(self, thread, op, eid, location)
         except RuntimeViolation as violation:
             if not violation.frames:
                 # Operation-level oracles (null dereference, use-after-free)
                 # fail at the executing op's program point.
                 violation.frames = (thread.pending_loc,) if thread.pending_loc else ()
             crash = violation
-        event = Event(
-            eid=eid,
-            tid=thread.tid,
-            kind=op.kind,
-            location=location,
-            loc=thread.pending_loc,
-            rf=rf,
-            value=value,
-            aux=aux,
-        )
+            rf = None
+            value = None
+            resume = None
+            advance_now = True
+            aux = None
+        event = Event(eid, thread.tid, op.kind, location, thread.pending_loc, rf, value, aux)
         self._record(event)
+        if rf is not None:
+            # Incremental rf collection: the writer of a recorded read is
+            # itself a recorded event at (dense) index rf - 1.
+            writer = None if rf == 0 else self.trace.events[rf - 1].abstract
+            pid = intern_rf_pair(writer, event.abstract)
+            pair_ids = self._rf_pair_ids
+            if pid not in pair_ids:
+                pair_ids.add(pid)
+                self._rf_sig_hash ^= rf_pair_hash(pid)
         thread.step_count += 1
         if self._writes(op, value):
             self._last_write[location] = eid
@@ -401,23 +514,23 @@ class Executor:
         """Append ``event`` to the trace/schedule and stream it to sanitizers."""
         self.trace.events.append(event)
         self.schedule.append(event.tid)
-        for sanitizer in self.sanitizers:
-            sanitizer.on_event(event)
+        hooks = self._san_on_event
+        if hooks:
+            for hook in hooks:
+                hook(event)
 
     def _writes(self, op: ops.Op, value: Any) -> bool:
         """Whether the executed op performed a write for reads-from purposes."""
-        if op.category == "write":
-            return True
-        if isinstance(op, ops.CasOp):
+        writes = op.writes
+        if writes is None:
+            # cas/trylock: writes only when the operation succeeded.
             return bool(value)
-        if isinstance(op, ops.TryLockOp):
-            return bool(value)
-        return op.category == "rmw"
+        return writes
 
     def _apply(
         self, thread: ThreadState, op: ops.Op, eid: int, location: str
     ) -> tuple[int | None, Any, Any, bool, Any]:
-        """Perform the operation's effect.
+        """Perform the operation's effect (table-dispatched).
 
         Returns ``(rf, recorded value, value to resume the generator with,
         advance_now, aux)``.  ``advance_now`` is False when the thread
@@ -425,82 +538,114 @@ class Executor:
         arrival); ``aux`` is the cross-thread metadata recorded on the event
         (spawned/joined tid, woken waiters).
         """
-        rf: int | None = None
-        value: Any = None
-        advance_now = True
-        aux: Any = None
-        if isinstance(op, ops.ReadOp):
-            rf = self.last_write_eid(location)
-            value = op.var.value
-        elif isinstance(op, ops.WriteOp):
-            op.var.value = op.value
-            value = op.value
-        elif isinstance(op, ops.RmwOp):
-            rf = self.last_write_eid(location)
-            value = op.var.value
-            op.var.value = op.func(op.var.value)
-        elif isinstance(op, ops.CasOp):
-            rf = self.last_write_eid(location)
-            value = op.var.value == op.expected
-            if value:
-                op.var.value = op.new
-        elif isinstance(op, ops.LockOp):
-            rf = self.last_write_eid(location)
-            op.mutex.owner = thread.tid
-        elif isinstance(op, ops.TryLockOp):
-            rf = self.last_write_eid(location)
-            value = not op.mutex.held
-            if value:
-                op.mutex.owner = thread.tid
-        elif isinstance(op, ops.UnlockOp):
-            self._unlock(thread, op.mutex)
-        elif isinstance(op, ops.WaitOp):
-            rf = self.last_write_eid(location)
-            aux = op.mutex.location
-            self._wait(thread, op)
-            advance_now = False
-        elif isinstance(op, ops.SignalOp):
-            aux = self._wake(op.cond, count=1)
-        elif isinstance(op, ops.BroadcastOp):
-            aux = self._wake(op.cond, count=len(op.cond.waiters))
-        elif isinstance(op, ops.SemAcquireOp):
-            rf = self.last_write_eid(location)
-            op.sem.count -= 1
-        elif isinstance(op, ops.SemReleaseOp):
-            op.sem.count += 1
-        elif isinstance(op, ops.BarrierOp):
-            rf = self.last_write_eid(location)
-            advance_now = self._arrive(thread, op.barrier)
-        elif isinstance(op, ops.SpawnOp):
-            resume = self._spawn(op, thread.tid)
-            return None, f"spawned T{resume.tid}", resume, True, resume.tid
-        elif isinstance(op, ops.JoinOp):
-            value = f"joined T{op.handle.tid}"
-            aux = op.handle.tid
-        elif isinstance(op, ops.YieldOp):
-            pass
-        elif isinstance(op, ops.MallocOp):
-            obj = self.api.heap.malloc(op.site, op.fields)
-            return None, f"malloc {obj.name}", obj, True, obj.name
-        elif isinstance(op, ops.FreeOp):
-            if op.obj is None:
-                raise NullDereference("free(NULL-model) in program")
-            self.api.heap.free(op.obj)
-        elif isinstance(op, ops.HeapReadOp):
-            if op.obj is None:
-                raise NullDereference(f"read of field {op.field_name!r} through null pointer")
-            rf = op.obj.field_writers.get(op.field_name, 0)
-            value = op.obj.read_field(op.field_name)
-        elif isinstance(op, ops.HeapWriteOp):
-            if op.obj is None:
-                raise NullDereference(f"write of field {op.field_name!r} through null pointer")
-            op.obj.check_alive(f"write of field {op.field_name!r}")
-            op.obj.write_field(op.field_name, op.value)
-            op.obj.field_writers[op.field_name] = eid
-            value = op.value
-        else:  # pragma: no cover - exhaustive over the ops vocabulary
+        handler = self._apply_table.get(op.__class__)
+        if handler is None:
             raise ProgramError(f"unhandled operation {op!r}")
-        return rf, value, value, advance_now, aux
+        return handler(self, thread, op, eid, location)
+
+    # -- per-op-type apply handlers --------------------------------------
+    def _apply_read(self, thread: ThreadState, op: ops.ReadOp, eid: int, location: str):
+        value = op.var.value
+        return self._last_write.get(location, 0), value, value, True, None
+
+    def _apply_write(self, thread: ThreadState, op: ops.WriteOp, eid: int, location: str):
+        value = op.value
+        op.var.value = value
+        return None, value, value, True, None
+
+    def _apply_rmw(self, thread: ThreadState, op: ops.RmwOp, eid: int, location: str):
+        var = op.var
+        old = var.value
+        var.value = op.func(old)
+        return self._last_write.get(location, 0), old, old, True, None
+
+    def _apply_cas(self, thread: ThreadState, op: ops.CasOp, eid: int, location: str):
+        var = op.var
+        success = var.value == op.expected
+        if success:
+            var.value = op.new
+        return self._last_write.get(location, 0), success, success, True, None
+
+    def _apply_lock(self, thread: ThreadState, op: ops.LockOp, eid: int, location: str):
+        op.mutex.owner = thread.tid
+        return self._last_write.get(location, 0), None, None, True, None
+
+    def _apply_trylock(self, thread: ThreadState, op: ops.TryLockOp, eid: int, location: str):
+        mutex = op.mutex
+        success = not mutex.held
+        if success:
+            mutex.owner = thread.tid
+        return self._last_write.get(location, 0), success, success, True, None
+
+    def _apply_unlock(self, thread: ThreadState, op: ops.UnlockOp, eid: int, location: str):
+        self._unlock(thread, op.mutex)
+        return None, None, None, True, None
+
+    def _apply_wait(self, thread: ThreadState, op: ops.WaitOp, eid: int, location: str):
+        rf = self._last_write.get(location, 0)
+        aux = op.mutex.location
+        self._wait(thread, op)
+        return rf, None, None, False, aux
+
+    def _apply_signal(self, thread: ThreadState, op: ops.SignalOp, eid: int, location: str):
+        return None, None, None, True, self._wake(op.cond, 1)
+
+    def _apply_broadcast(self, thread: ThreadState, op: ops.BroadcastOp, eid: int, location: str):
+        cond = op.cond
+        return None, None, None, True, self._wake(cond, len(cond.waiters))
+
+    def _apply_sem_acquire(self, thread: ThreadState, op: ops.SemAcquireOp, eid: int, location: str):
+        rf = self._last_write.get(location, 0)
+        op.sem.count -= 1
+        return rf, None, None, True, None
+
+    def _apply_sem_release(self, thread: ThreadState, op: ops.SemReleaseOp, eid: int, location: str):
+        op.sem.count += 1
+        return None, None, None, True, None
+
+    def _apply_barrier(self, thread: ThreadState, op: ops.BarrierOp, eid: int, location: str):
+        rf = self._last_write.get(location, 0)
+        return rf, None, None, self._arrive(thread, op.barrier), None
+
+    def _apply_spawn(self, thread: ThreadState, op: ops.SpawnOp, eid: int, location: str):
+        handle = self._spawn(op, thread.tid)
+        return None, f"spawned T{handle.tid}", handle, True, handle.tid
+
+    def _apply_join(self, thread: ThreadState, op: ops.JoinOp, eid: int, location: str):
+        value = f"joined T{op.handle.tid}"
+        return None, value, value, True, op.handle.tid
+
+    def _apply_yield(self, thread: ThreadState, op: ops.YieldOp, eid: int, location: str):
+        return None, None, None, True, None
+
+    def _apply_malloc(self, thread: ThreadState, op: ops.MallocOp, eid: int, location: str):
+        obj = self.api.heap.malloc(op.site, op.fields)
+        return None, f"malloc {obj.name}", obj, True, obj.name
+
+    def _apply_free(self, thread: ThreadState, op: ops.FreeOp, eid: int, location: str):
+        if op.obj is None:
+            raise NullDereference("free(NULL-model) in program")
+        self.api.heap.free(op.obj)
+        return None, None, None, True, None
+
+    def _apply_heap_read(self, thread: ThreadState, op: ops.HeapReadOp, eid: int, location: str):
+        obj = op.obj
+        if obj is None:
+            raise NullDereference(f"read of field {op.field_name!r} through null pointer")
+        rf = obj.field_writers.get(op.field_name, 0)
+        value = obj.read_field(op.field_name)
+        return rf, value, value, True, None
+
+    def _apply_heap_write(self, thread: ThreadState, op: ops.HeapWriteOp, eid: int, location: str):
+        obj = op.obj
+        if obj is None:
+            raise NullDereference(f"write of field {op.field_name!r} through null pointer")
+        name = op.field_name
+        obj.check_alive(f"write of field {name!r}")
+        obj.write_field(name, op.value)
+        obj.field_writers[name] = eid
+        value = op.value
+        return None, value, value, True, None
 
     # ------------------------------------------------------------------
     # Synchronization helpers
@@ -521,8 +666,9 @@ class Executor:
 
     def _wake(self, cond: CondVar, count: int) -> tuple[int, ...]:
         woken = []
-        for _ in range(min(count, len(cond.waiters))):
-            tid = cond.waiters.pop(0)
+        waiters = cond.waiters
+        for _ in range(min(count, len(waiters))):
+            tid = waiters.popleft()
             waiter = self.threads[tid]
             waiter.status = ThreadStatus.RUNNABLE
             # The wakeup completes only after re-acquiring the mutex, modelled
@@ -563,6 +709,8 @@ class Executor:
             raise ProgramError(f"spawned function {name!r} is not a generator")
         thread = ThreadState(tid, name, gen)
         self.threads.append(thread)
+        self._scan_threads.append(thread)
+        self._live_threads += 1
         for sanitizer in self.sanitizers:
             sanitizer.on_thread_start(tid, parent_tid)
         self._advance(thread, None)
@@ -590,6 +738,8 @@ class Executor:
             thread.status = ThreadStatus.FINISHED
             thread.pending = None
             thread.cached_candidate = None
+            self._live_threads -= 1
+            self._scan_dirty = True
             if self._watchdog is not None:
                 self._watchdog.progress()
             for sanitizer in self.sanitizers:
@@ -608,7 +758,8 @@ class Executor:
         if not isinstance(op, ops.Op):
             raise ProgramError(f"thread {thread.name!r} yielded non-operation {op!r}")
         thread.pending = op
-        thread.pending_loc = op.loc if op.loc is not None else _derive_loc(thread.gen)
+        loc = op.loc
+        thread.pending_loc = loc if loc is not None else _derive_loc(thread.gen)
         thread.cached_candidate = None
 
 

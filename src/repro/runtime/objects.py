@@ -15,6 +15,7 @@ abstract events comparable between schedules.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any
 
 from repro.runtime.errors import DoubleFree, ProgramError, UseAfterFree
@@ -28,17 +29,16 @@ class SharedVar:
     the event id of its last writer (used to compute the reads-from relation).
     """
 
-    __slots__ = ("name", "value", "last_writer")
+    __slots__ = ("name", "value", "last_writer", "location")
 
     def __init__(self, name: str, init: Any = 0):
         self.name = name
         self.value = init
         #: Event id of the last write; 0 denotes the initial pseudo-write.
         self.last_writer = 0
-
-    @property
-    def location(self) -> str:
-        return f"var:{self.name}"
+        #: Stable location label ``x``; precomputed (names are immutable)
+        #: because op construction reads it on every visible access.
+        self.location = f"var:{name}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SharedVar({self.name!r}, value={self.value!r})"
@@ -53,7 +53,7 @@ class Mutex:
     memory and thread primitives" (paper Section 4).
     """
 
-    __slots__ = ("name", "owner", "last_writer", "error_checking")
+    __slots__ = ("name", "owner", "last_writer", "error_checking", "location")
 
     def __init__(self, name: str, error_checking: bool = True):
         self.name = name
@@ -64,10 +64,7 @@ class Mutex:
         #: ProgramError; if False it is silently tolerated (some real
         #: benchmarks rely on sloppy unlock behaviour).
         self.error_checking = error_checking
-
-    @property
-    def location(self) -> str:
-        return f"mutex:{self.name}"
+        self.location = f"mutex:{name}"
 
     @property
     def held(self) -> bool:
@@ -82,28 +79,26 @@ class CondVar:
 
     ``waiters`` holds thread ids currently blocked in ``wait``; the executor
     moves signalled threads into a re-acquire state for the associated mutex.
-    FIFO order keeps the runtime deterministic for a fixed schedule.
+    FIFO order keeps the runtime deterministic for a fixed schedule — waiters
+    is a deque so the executor's FIFO ``popleft`` wakeups are O(1).
     """
 
-    __slots__ = ("name", "waiters", "last_writer")
+    __slots__ = ("name", "waiters", "last_writer", "location")
 
     def __init__(self, name: str):
         self.name = name
-        self.waiters: list[int] = []
+        self.waiters: deque[int] = deque()
         self.last_writer = 0
-
-    @property
-    def location(self) -> str:
-        return f"cond:{self.name}"
+        self.location = f"cond:{name}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CondVar({self.name!r}, waiters={self.waiters})"
+        return f"CondVar({self.name!r}, waiters={list(self.waiters)})"
 
 
 class Semaphore:
     """A counting semaphore; ``acquire`` blocks while the count is zero."""
 
-    __slots__ = ("name", "count", "last_writer")
+    __slots__ = ("name", "count", "last_writer", "location")
 
     def __init__(self, name: str, init: int = 0):
         if init < 0:
@@ -111,10 +106,7 @@ class Semaphore:
         self.name = name
         self.count = init
         self.last_writer = 0
-
-    @property
-    def location(self) -> str:
-        return f"sem:{self.name}"
+        self.location = f"sem:{name}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Semaphore({self.name!r}, count={self.count})"
@@ -127,7 +119,7 @@ class Barrier:
     which point every waiter is released and the barrier resets.
     """
 
-    __slots__ = ("name", "parties", "arrived", "last_writer", "generation")
+    __slots__ = ("name", "parties", "arrived", "last_writer", "generation", "location")
 
     def __init__(self, name: str, parties: int):
         if parties < 1:
@@ -137,10 +129,7 @@ class Barrier:
         self.arrived: list[int] = []
         self.generation = 0
         self.last_writer = 0
-
-    @property
-    def location(self) -> str:
-        return f"barrier:{self.name}"
+        self.location = f"barrier:{name}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Barrier({self.name!r}, {len(self.arrived)}/{self.parties})"
@@ -154,7 +143,7 @@ class HeapObject:
     and null-dereference vulnerabilities; paper Section 5.1).
     """
 
-    __slots__ = ("name", "fields", "freed", "field_writers")
+    __slots__ = ("name", "fields", "freed", "field_writers", "_field_locations")
 
     def __init__(self, name: str, fields: dict[str, Any] | None = None):
         self.name = name
@@ -162,9 +151,14 @@ class HeapObject:
         self.freed = False
         #: Last-writer event id per field (0 = initial value at malloc).
         self.field_writers: dict[str, int] = {}
+        #: field -> memoized location label (built on first access).
+        self._field_locations: dict[str, str] = {}
 
     def location_of(self, field: str) -> str:
-        return f"heap:{self.name}.{field}"
+        label = self._field_locations.get(field)
+        if label is None:
+            label = self._field_locations[field] = f"heap:{self.name}.{field}"
+        return label
 
     def check_alive(self, access: str) -> None:
         if self.freed:

@@ -18,6 +18,13 @@ Each operation carries:
   executor derives a stable ``function:line`` label from the generator frame,
   playing the role of the source location ``l`` in abstract events
   ``op(x)@l``.
+* ``location`` — the memory location ``x`` the operation acts on, computed
+  once at construction (``__post_init__``) instead of once per executor
+  enabled-set scan.  Derived purely from immutable object names, so the
+  value is identical no matter when it is read.
+* ``writes`` — whether executing the op performs a write for reads-from
+  purposes: ``True``/``False`` when statically known, ``None`` when it
+  depends on the runtime result (``cas``/``trylock`` succeed or fail).
 """
 
 from __future__ import annotations
@@ -42,6 +49,17 @@ class Op:
     category = "other"
     #: True when executing this operation may block the thread.
     may_block = False
+    #: Reads-from write participation: True/False, or None when it depends
+    #: on the runtime value (cas/trylock success).
+    writes = False
+
+    def __post_init__(self) -> None:
+        # Computed once here; the executor's hot paths (enabled-set scans,
+        # event construction, POS race resets) read the attribute directly.
+        self.location = self._location()
+
+    def _location(self) -> str:
+        return "op:unknown"
 
 
 @dataclass
@@ -53,6 +71,9 @@ class ReadOp(Op):
     kind = "r"
     category = "read"
 
+    def _location(self) -> str:
+        return self.var.location
+
 
 @dataclass
 class WriteOp(Op):
@@ -63,6 +84,10 @@ class WriteOp(Op):
 
     kind = "w"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return self.var.location
 
 
 @dataclass
@@ -78,6 +103,10 @@ class RmwOp(Op):
 
     kind = "rmw"
     category = "rmw"
+    writes = True
+
+    def _location(self) -> str:
+        return self.var.location
 
 
 @dataclass
@@ -90,6 +119,10 @@ class CasOp(Op):
 
     kind = "cas"
     category = "rmw"
+    writes = None  # depends on whether the CAS succeeded
+
+    def _location(self) -> str:
+        return self.var.location
 
 
 @dataclass
@@ -101,6 +134,10 @@ class LockOp(Op):
     kind = "lock"
     category = "rmw"
     may_block = True
+    writes = True
+
+    def _location(self) -> str:
+        return self.mutex.location
 
 
 @dataclass
@@ -111,6 +148,10 @@ class TryLockOp(Op):
 
     kind = "trylock"
     category = "rmw"
+    writes = None  # depends on whether the acquisition succeeded
+
+    def _location(self) -> str:
+        return self.mutex.location
 
 
 @dataclass
@@ -121,6 +162,10 @@ class UnlockOp(Op):
 
     kind = "unlock"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return self.mutex.location
 
 
 @dataclass
@@ -137,6 +182,10 @@ class WaitOp(Op):
     kind = "wait"
     category = "rmw"
     may_block = True
+    writes = True
+
+    def _location(self) -> str:
+        return self.cond.location
 
 
 @dataclass
@@ -147,6 +196,10 @@ class SignalOp(Op):
 
     kind = "signal"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return self.cond.location
 
 
 @dataclass
@@ -157,6 +210,10 @@ class BroadcastOp(Op):
 
     kind = "broadcast"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return self.cond.location
 
 
 @dataclass
@@ -168,6 +225,10 @@ class SemAcquireOp(Op):
     kind = "sem_acquire"
     category = "rmw"
     may_block = True
+    writes = True
+
+    def _location(self) -> str:
+        return self.sem.location
 
 
 @dataclass
@@ -178,6 +239,10 @@ class SemReleaseOp(Op):
 
     kind = "sem_release"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return self.sem.location
 
 
 @dataclass
@@ -189,6 +254,10 @@ class BarrierOp(Op):
     kind = "barrier"
     category = "rmw"
     may_block = True
+    writes = True
+
+    def _location(self) -> str:
+        return self.barrier.location
 
 
 @dataclass
@@ -202,6 +271,9 @@ class SpawnOp(Op):
     kind = "spawn"
     category = "other"
 
+    def _location(self) -> str:
+        return "thread:spawn"
+
 
 @dataclass
 class JoinOp(Op):
@@ -213,6 +285,9 @@ class JoinOp(Op):
     category = "other"
     may_block = True
 
+    def _location(self) -> str:
+        return "thread:join"
+
 
 @dataclass
 class YieldOp(Op):
@@ -220,6 +295,9 @@ class YieldOp(Op):
 
     kind = "yield"
     category = "other"
+
+    def _location(self) -> str:
+        return "sched:yield"
 
 
 @dataclass
@@ -232,6 +310,9 @@ class MallocOp(Op):
     kind = "malloc"
     category = "other"
 
+    def _location(self) -> str:
+        return f"heapsite:{self.site}"
+
 
 @dataclass
 class FreeOp(Op):
@@ -241,6 +322,10 @@ class FreeOp(Op):
 
     kind = "free"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return f"heap:{self.obj.name}" if self.obj is not None else "heap:<null>"
 
 
 @dataclass
@@ -253,6 +338,9 @@ class HeapReadOp(Op):
     kind = "hr"
     category = "read"
 
+    def _location(self) -> str:
+        return self.obj.location_of(self.field_name) if self.obj is not None else "heap:<null>"
+
 
 @dataclass
 class HeapWriteOp(Op):
@@ -264,3 +352,7 @@ class HeapWriteOp(Op):
 
     kind = "hw"
     category = "write"
+    writes = True
+
+    def _location(self) -> str:
+        return self.obj.location_of(self.field_name) if self.obj is not None else "heap:<null>"

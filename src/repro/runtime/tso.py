@@ -142,22 +142,22 @@ class TsoExecutor(Executor):
             self._flush_one(tid)
 
     # ------------------------------------------------------------------
-    def _apply(self, thread: ThreadState, op: ops.Op, eid: int, location: str):
-        if isinstance(op, ops.WriteOp):
-            self.buffer_of(thread.tid).append(
-                BufferedStore(var=op.var, value=op.value, write_eid=eid, location=location)
-            )
-            # The store is buffered: memory and last-writer stay untouched
-            # (the base class would mark the write globally visible).
-            return None, op.value, op.value, True, None
-        if isinstance(op, ops.ReadOp):
-            for store in reversed(self.buffer_of(thread.tid)):
-                if store.location == location:
-                    # Store forwarding: the thread sees its own youngest
-                    # buffered write before anyone else does.
-                    return store.write_eid, store.value, store.value, True, None
-            return super()._apply(thread, op, eid, location)
-        return super()._apply(thread, op, eid, location)
+    # Per-op apply handlers (picked up by the base class's dispatch table).
+    def _apply_write(self, thread: ThreadState, op: ops.WriteOp, eid: int, location: str):
+        self.buffer_of(thread.tid).append(
+            BufferedStore(var=op.var, value=op.value, write_eid=eid, location=location)
+        )
+        # The store is buffered: memory and last-writer stay untouched
+        # (the base class would mark the write globally visible).
+        return None, op.value, op.value, True, None
+
+    def _apply_read(self, thread: ThreadState, op: ops.ReadOp, eid: int, location: str):
+        for store in reversed(self.buffer_of(thread.tid)):
+            if store.location == location:
+                # Store forwarding: the thread sees its own youngest
+                # buffered write before anyone else does.
+                return store.write_eid, store.value, store.value, True, None
+        return super()._apply_read(thread, op, eid, location)
 
     def _writes(self, op: ops.Op, value: Any) -> bool:
         # Buffered stores are not yet globally visible: suppress the base

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.runtime.executor import op_location
 from repro.schedulers.base import SeededPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -42,12 +41,32 @@ class PosPolicy(SeededPolicy):
     def score_of(self, candidate: "Candidate", execution: "Executor") -> float:
         """Current score of a pending event, drawing one if absent."""
         key = self._key(candidate, execution)
-        if key not in self._scores:
-            self._scores[key] = self.rng.random()
-        return self._scores[key]
+        scores = self._scores
+        try:
+            return scores[key]
+        except KeyError:
+            score = scores[key] = self.rng.random()
+            return score
 
     def choose(self, candidates: "list[Candidate]", execution: "Executor") -> "Candidate":
-        return max(candidates, key=lambda c: self.score_of(c, execution))
+        # Explicit arg-max (first maximal element, exactly like max() with a
+        # score key): scores are drawn in candidate order, keeping the rng
+        # stream identical to the straightforward implementation.
+        threads = execution.threads
+        scores = self._scores
+        rng_random = self.rng.random
+        best = None
+        best_score = -1.0
+        for candidate in candidates:
+            key = (candidate.tid, threads[candidate.tid].step_count, candidate.kind)
+            try:
+                score = scores[key]
+            except KeyError:
+                score = scores[key] = rng_random()
+            if score > best_score:
+                best_score = score
+                best = candidate
+        return best
 
     def notify(self, event: "Event", execution: "Executor") -> None:
         # Reset scores of pending events racing with the executed event.
@@ -55,11 +74,14 @@ class PosPolicy(SeededPolicy):
         is_writeish = event.is_write or event.kind == "flush"
         if not (is_writeish or event.is_read):
             return
+        location = event.location
+        event_tid = event.tid
+        scores = self._scores
         for thread in execution.threads:
-            if thread.pending is None or thread.tid == event.tid:
+            pending = thread.pending
+            if pending is None or thread.tid == event_tid:
                 continue
-            if op_location(thread.pending) != event.location:
+            if pending.location != location:
                 continue
-            pending_writes = thread.pending.category in _WRITEY
-            if is_writeish or pending_writes:
-                self._scores.pop((thread.tid, thread.step_count, thread.pending.kind), None)
+            if is_writeish or pending.category in _WRITEY:
+                scores.pop((thread.tid, thread.step_count, pending.kind), None)

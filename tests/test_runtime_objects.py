@@ -44,7 +44,9 @@ class TestMutex:
 
 class TestCondVar:
     def test_starts_with_no_waiters(self):
-        assert CondVar("c").waiters == []
+        cond = CondVar("c")
+        assert len(cond.waiters) == 0
+        assert list(cond.waiters) == []
 
     def test_location_is_namespaced(self):
         assert CondVar("c").location == "cond:c"
