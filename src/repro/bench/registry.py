@@ -3,10 +3,17 @@
 Programs are keyed by their Appendix B names (``CS/reorder_100``,
 ``ConVul-CVE-Benchmarks/CVE-2016-9806``, ...).  The registry is the single
 source the harness, tests and benches iterate over.
+
+Beyond the fixed corpus, names under the ``gen:`` namespace resolve to
+*generated* scenarios (:mod:`repro.gen`): ``get("gen:<seed>[:<token>]")``
+re-synthesizes the program deterministically from the name, which is what
+makes generated programs first-class campaign targets — parallel workers,
+replay and the CLI all rebuild the identical program from its name.
 """
 
 from __future__ import annotations
 
+import difflib
 from functools import lru_cache
 
 from repro.bench.cb import cb_programs
@@ -45,10 +52,23 @@ def all_programs() -> dict[str, Program]:
 
 
 def get(name: str) -> Program:
-    """Look one program up by its Appendix B name."""
+    """Look one program up by its Appendix B name or ``gen:`` spec.
+
+    Unknown names raise a ``KeyError`` listing the closest matches, so a
+    typo like ``CS/reorder_1000`` points straight at ``CS/reorder_100``.
+    """
+    from repro.gen.synth import GEN_PREFIX, from_name
+
+    if name.startswith(GEN_PREFIX):
+        return from_name(name).program
     programs = all_programs()
     if name not in programs:
-        raise KeyError(f"unknown benchmark {name!r}; see repro.bench.names()")
+        close = difflib.get_close_matches(name, programs, n=3, cutoff=0.4)
+        hint = f"; did you mean: {', '.join(close)}?" if close else ""
+        raise KeyError(
+            f"unknown benchmark {name!r}{hint} "
+            f"(see repro.bench.names(), or gen:<seed> for generated scenarios)"
+        )
     return programs[name]
 
 

@@ -382,6 +382,93 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if result.outcome == crash.outcome else 1
 
 
+def _parse_gen_config(token: str | None):
+    from repro.gen.synth import GenConfig
+
+    try:
+        return GenConfig.from_token(token or "")
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    """Synthesize a seeded corpus of generated scenarios."""
+    from repro.gen.synth import corpus
+
+    config = _parse_gen_config(args.config)
+    programs = corpus(args.seed, args.count, config)
+    out = None
+    if args.out:
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        handle = out.open("w", encoding="utf-8")
+    kinds: dict[str, int] = {}
+    for generated in programs:
+        truth = generated.ground_truth
+        kinds[truth.kind] = kinds.get(truth.kind, 0) + 1
+        spec = generated.spec
+        if not args.quiet:
+            print(
+                f"{generated.name:24s} {truth.kind or 'none':9s} "
+                f"threads={len(spec.threads)} ops={spec.total_ops:3d} "
+                f"window={truth.window} budget={spec.step_budget}"
+            )
+        if out is not None:
+            handle.write(generated.to_json() + "\n")
+    if out is not None:
+        handle.close()
+    breakdown = ", ".join(f"{kind}: {count}" for kind, count in sorted(kinds.items()))
+    print(f"{len(programs)} programs ({breakdown})" + (f" -> {out}" if out else ""))
+    return 0
+
+
+def _cmd_eval_gen(args: argparse.Namespace) -> int:
+    """Differential ground-truth evaluation over a generated corpus."""
+    from repro.gen.synth import GEN_PREFIX  # noqa: F401 - ensures gen registers cleanly
+    from repro.harness.groundtruth import (
+        GroundTruthConfig,
+        GroundTruthHarness,
+        check_baseline,
+        load_baseline,
+        write_report,
+    )
+    from repro.harness.reporting import groundtruth_summary
+    from repro.harness.telemetry import JsonlSink, TelemetrySink
+
+    config = GroundTruthConfig(
+        seed=args.seed,
+        count=args.count,
+        gen_config=_parse_gen_config(args.config),
+        tools=tuple(args.tools),
+        trials=args.trials,
+        budget=args.budget,
+        base_seed=args.base_seed,
+        sanitizer_budget=args.sanitizer_budget,
+    )
+    sink = JsonlSink(args.telemetry) if args.telemetry else TelemetrySink()
+    try:
+        harness = GroundTruthHarness(config, sink=sink)
+        payload = harness.evaluate(processes=args.parallel)
+    finally:
+        sink.close()
+    target = write_report(payload, args.out)
+    print(groundtruth_summary(payload))
+    print()
+    print(f"report: {target}")
+    if args.baseline:
+        problems = check_baseline(payload, load_baseline(args.baseline))
+        if problems:
+            print()
+            print("BASELINE REGRESSION:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 3
+        print("baseline: ok")
+    return 0
+
+
 def _cmd_figure5(args: argparse.Namespace) -> int:
     prog = bench.get(args.program)
     pos = rf_distribution_pos(prog, executions=args.executions, seed=args.seed)
@@ -504,6 +591,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--replays", type=int, default=5, metavar="N",
                           help="replays for --verify (default 5)")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_gen = sub.add_parser("gen", help="synthesize generated scenarios with planted bugs")
+    p_gen.add_argument("--seed", type=int, default=0,
+                       help="first corpus seed; programs are gen:<seed>..gen:<seed+count-1>")
+    p_gen.add_argument("--count", type=int, default=10)
+    p_gen.add_argument("--config", metavar="TOKEN",
+                       help="generator knobs token, e.g. 't=3,b=4,mix=r1d1a1n1' "
+                            "(see repro.gen.synth.GenConfig)")
+    p_gen.add_argument("--out", metavar="FILE",
+                       help="write one JSON object per program (spec + ground truth) to FILE")
+    p_gen.add_argument("--quiet", action="store_true", help="suppress the per-program table")
+    p_gen.set_defaults(func=_cmd_gen)
+
+    p_eval = sub.add_parser(
+        "eval-gen", help="differential ground-truth evaluation over a generated corpus"
+    )
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--count", type=int, default=50)
+    p_eval.add_argument("--config", metavar="TOKEN", help="generator knobs token")
+    p_eval.add_argument("--tools", nargs="*", default=["RFF", "Random", "PCT3", "POS"])
+    p_eval.add_argument("--trials", type=int, default=3)
+    p_eval.add_argument("--budget", type=int, default=400)
+    p_eval.add_argument("--base-seed", type=int, default=1234)
+    p_eval.add_argument("--sanitizer-budget", type=int, default=80)
+    p_eval.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes for the crash channel "
+                             "(1 = serial; results are bit-identical either way)")
+    p_eval.add_argument("--out", default="results/BENCH_groundtruth.json",
+                        help="report path (default results/BENCH_groundtruth.json)")
+    p_eval.add_argument("--baseline", metavar="FILE",
+                        help="check FN/FP rates and detection against a baseline "
+                             "JSON; exit 3 on regression")
+    p_eval.add_argument("--telemetry", metavar="FILE",
+                        help="write gen_corpus/gen_eval_end telemetry (JSONL) to FILE")
+    p_eval.set_defaults(func=_cmd_eval_gen)
 
     p_fig5 = sub.add_parser("figure5", help="rf-distribution histograms (RQ3)")
     p_fig5.add_argument("--program", default="SafeStack")

@@ -1,0 +1,51 @@
+"""Generative scenario frontier: seeded DSL program synthesis.
+
+The benchmark registry models the paper's fixed 49-program corpus; this
+package provides an *unbounded* scenario supply with ground truth:
+
+* :mod:`repro.gen.synth` — a seeded synthesizer of well-formed DSL
+  programs (threads, mutexes, condvars, semaphores, barriers, shared
+  variables, nested critical sections) guaranteed to terminate under a
+  declared step budget; same seed + knobs → byte-identical program spec.
+* :mod:`repro.gen.plant` — bug-planting transforms that inject a data
+  race, a lock-order-inversion deadlock, or an atomicity violation at a
+  controlled interleaving depth and emit machine-readable
+  :class:`~repro.gen.plant.GroundTruth` metadata.
+* :mod:`repro.gen.oracle` — differential judgements of tool results and
+  online-sanitizer reports against planted labels (true detections,
+  false negatives, false positives).
+
+Generated programs are first-class benchmark targets under the ``gen:``
+namespace: ``repro.bench.get("gen:<seed>")`` (and therefore ``rff run``,
+``rff fuzz``, campaigns, parallel workers, replay) resolves them by
+re-synthesizing deterministically from the name alone.
+"""
+
+from repro.gen.oracle import SanitizerJudgement, judge_result, judge_sanitizers
+from repro.gen.plant import GroundTruth, plant_bug
+from repro.gen.synth import (
+    GEN_PREFIX,
+    GenConfig,
+    GeneratedProgram,
+    ProgramSpec,
+    corpus,
+    from_name,
+    program_specs,
+    synthesize,
+)
+
+__all__ = [
+    "GEN_PREFIX",
+    "GenConfig",
+    "GeneratedProgram",
+    "GroundTruth",
+    "ProgramSpec",
+    "SanitizerJudgement",
+    "corpus",
+    "from_name",
+    "judge_result",
+    "judge_sanitizers",
+    "plant_bug",
+    "program_specs",
+    "synthesize",
+]

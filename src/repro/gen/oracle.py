@@ -1,0 +1,146 @@
+"""Differential judgements against planted ground truth.
+
+The oracle compares two independent observation channels with the label
+attached to every generated program:
+
+* **crash channel** — did a testing tool's search (or a model-checker
+  sweep) trigger the planted crash?  :func:`judge_result` classifies one
+  :class:`~repro.harness.tools.BugSearchResult` as detected / missed /
+  spurious / clean.
+* **sanitizer channel** — did each online sanitizer fire on the program?
+  :func:`judge_sanitizers` turns a pile of
+  :class:`~repro.analysis.online.SanitizerReport` s into one
+  :class:`SanitizerJudgement` per sanitizer (tp/fn/fp/tn), and
+  :func:`aggregate_sanitizers` folds judgements over a corpus into the
+  false-negative / false-positive rates that the CI baseline pins.
+
+A *false negative* here is precise: the label says the sanitizer class
+should flag this program (e.g. ``race`` for a stripped-lock plant) yet it
+never fired across the whole measurement budget.  A *false positive* is a
+sanitizer firing on a program whose label says it should stay silent —
+including the crash-free ``none`` share of the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.gen.plant import GroundTruth
+
+#: The online sanitizers the oracle scores (see repro.analysis.online).
+SANITIZER_NAMES = ("race", "lockset", "lockorder")
+
+
+def judge_result(truth: GroundTruth, result: Any) -> dict[str, Any]:
+    """Classify one bug-search result against the planted label.
+
+    ``result`` needs ``found`` and ``outcome`` attributes
+    (:class:`~repro.harness.tools.BugSearchResult` qualifies).  Verdicts:
+    ``detected`` (bug planted, crash found), ``missed`` (planted, not
+    found), ``spurious`` (crash on a bug-free program — an executor or
+    generator defect), ``clean`` (bug-free, no crash).
+    """
+    expected = bool(truth.crash_outcome)
+    found = bool(getattr(result, "found", False))
+    outcome = getattr(result, "outcome", None)
+    if expected and found:
+        verdict = "detected"
+    elif expected:
+        verdict = "missed"
+    elif found:
+        verdict = "spurious"
+    else:
+        verdict = "clean"
+    return {
+        "verdict": verdict,
+        "expected_outcome": truth.crash_outcome,
+        "observed_outcome": outcome,
+        "outcome_match": bool(found and expected and outcome == truth.crash_outcome),
+        "schedules_to_bug": getattr(result, "schedules_to_bug", None),
+    }
+
+
+@dataclass(frozen=True)
+class SanitizerJudgement:
+    """One (program, sanitizer) cell of the confusion matrix."""
+
+    program: str
+    bug_kind: str
+    sanitizer: str
+    expected: bool
+    fired: bool
+
+    @property
+    def verdict(self) -> str:
+        if self.expected:
+            return "tp" if self.fired else "fn"
+        return "fp" if self.fired else "tn"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.program,
+            "bug_kind": self.bug_kind,
+            "sanitizer": self.sanitizer,
+            "expected": self.expected,
+            "fired": self.fired,
+            "verdict": self.verdict,
+        }
+
+
+def judge_sanitizers(
+    truth: GroundTruth,
+    reports: Iterable[Any],
+    program: str = "",
+    sanitizers: tuple[str, ...] = SANITIZER_NAMES,
+) -> list[SanitizerJudgement]:
+    """Score each sanitizer's verdict on one program against its label.
+
+    ``reports`` is any iterable of objects with a ``sanitizer`` attribute
+    (live :class:`SanitizerReport` s or their dict form via ``.get``).
+    """
+    fired: set[str] = set()
+    for report in reports:
+        name = getattr(report, "sanitizer", None)
+        if name is None and isinstance(report, dict):
+            name = report.get("sanitizer")
+        if name:
+            fired.add(name)
+    return [
+        SanitizerJudgement(
+            program=program,
+            bug_kind=truth.kind,
+            sanitizer=name,
+            expected=name in truth.sanitizers,
+            fired=name in fired,
+        )
+        for name in sanitizers
+    ]
+
+
+def aggregate_sanitizers(
+    judgements: Iterable[SanitizerJudgement],
+) -> dict[str, dict[str, Any]]:
+    """Fold per-program judgements into per-sanitizer confusion + rates.
+
+    ``fn_rate`` is over programs where the sanitizer was expected to fire;
+    ``fp_rate`` over programs where it was expected to stay silent.  With
+    no programs in a denominator the rate is 0.0 (nothing to miss).
+    """
+    table: dict[str, dict[str, int]] = {}
+    for judgement in judgements:
+        cell = table.setdefault(
+            judgement.sanitizer, {"tp": 0, "fn": 0, "fp": 0, "tn": 0}
+        )
+        cell[judgement.verdict] += 1
+    summary: dict[str, dict[str, Any]] = {}
+    for name, cell in sorted(table.items()):
+        expected_n = cell["tp"] + cell["fn"]
+        silent_n = cell["fp"] + cell["tn"]
+        summary[name] = {
+            **cell,
+            "expected_programs": expected_n,
+            "fn_rate": (cell["fn"] / expected_n) if expected_n else 0.0,
+            "fp_rate": (cell["fp"] / silent_n) if silent_n else 0.0,
+        }
+    return summary

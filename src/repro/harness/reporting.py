@@ -295,3 +295,52 @@ def significance_summary(
         else:
             ties += 1
     return {"a_faster": a_faster, "b_faster": b_faster, "ties": ties}
+
+
+# ----------------------------------------------------------------------
+# Ground-truth differential evaluation (generated corpora)
+# ----------------------------------------------------------------------
+def groundtruth_summary(payload: dict) -> str:
+    """Render a BENCH_groundtruth payload (see harness.groundtruth).
+
+    One block per channel: crash-channel detection per tool and planted
+    kind, then the per-sanitizer confusion with FN/FP rates — the numbers
+    the CI baseline bounds.
+    """
+    config = payload["config"]
+    kinds = payload["corpus"]["kinds"]
+    breakdown = ", ".join(f"{kind}: {count}" for kind, count in sorted(kinds.items()))
+    lines = [
+        f"Generated corpus: {config['count']} programs from seed {config['seed']}"
+        + (f" (config {config['gen_config']})" if config["gen_config"] else ""),
+        f"  planted kinds:    {breakdown}",
+        "",
+        f"Crash channel ({config['trials']} trials x {config['budget']} schedules):",
+    ]
+    for tool, section in payload["tools"].items():
+        planted_total = section["planted_total"]
+        mean = section["mean_schedules_to_bug"]
+        mean_text = f"{mean:.1f}" if mean is not None else "-"
+        per_kind = ", ".join(
+            f"{kind} {section['detected'].get(kind, 0)}/{count}"
+            for kind, count in sorted(section["planted"].items())
+        )
+        lines.append(
+            f"  {tool:14s} {section['detected_total']:3d}/{planted_total} planted bugs"
+            f"  (mean schedules-to-bug {mean_text};  {per_kind})"
+        )
+        if section["spurious_crashes"]:
+            lines.append(
+                f"  {'':14s} !! {section['spurious_crashes']} spurious crash(es) "
+                "on bug-free programs"
+            )
+    lines.append("")
+    lines.append(
+        f"Sanitizer channel (RFF x {config['sanitizer_budget']} schedules per program):"
+    )
+    for name, cell in payload["sanitizers"].items():
+        lines.append(
+            f"  {name:10s} tp={cell['tp']:3d} fn={cell['fn']:3d} fp={cell['fp']:3d} "
+            f"tn={cell['tn']:3d}  fn_rate={cell['fn_rate']:.3f} fp_rate={cell['fp_rate']:.3f}"
+        )
+    return "\n".join(lines)

@@ -127,6 +127,11 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "campaign_end": frozenset(
         {"wall_time", "cells", "failed_cells", "retries", "executions", "schedules_per_sec"}
     ),
+    # Generated-scenario pipeline (repro.harness.groundtruth).
+    "gen_corpus": frozenset({"seed", "count", "config", "kinds"}),
+    "gen_eval_end": frozenset(
+        {"tools", "programs", "trials", "budget", "detected", "fn_rates"}
+    ),
 }
 
 

@@ -76,6 +76,45 @@ class TestRegistryStructure:
         with pytest.raises(KeyError):
             bench.get("CS/nonexistent")
 
+    def test_get_unknown_suggests_close_matches(self):
+        with pytest.raises(KeyError) as excinfo:
+            bench.get("CS/reorder_1000")
+        message = str(excinfo.value)
+        assert "did you mean" in message
+        assert "CS/reorder_100" in message
+
+    def test_get_unknown_without_close_match_mentions_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            bench.get("zzzz/quux")
+        assert "repro.bench.names()" in str(excinfo.value)
+
+
+class TestGeneratedNamespace:
+    """``gen:`` names resolve through the registry without joining it."""
+
+    def test_gen_name_resolves_to_program(self):
+        program = bench.get("gen:7")
+        assert program.name == "gen:7"
+        assert program.suite == "Generated"
+
+    def test_gen_name_with_config_token(self):
+        program = bench.get("gen:7:t=3")
+        assert program.name == "gen:7:t=3"
+
+    def test_gen_resolution_is_deterministic(self):
+        from repro.gen.synth import from_name
+
+        assert bench.get("gen:11").name == from_name("gen:11").program.name
+
+    def test_malformed_gen_name_raises(self):
+        with pytest.raises(KeyError):
+            bench.get("gen:notanumber")
+
+    def test_gen_names_stay_out_of_the_registry(self):
+        bench.get("gen:7")
+        assert len(bench.all_programs()) == 49
+        assert not any(name.startswith("gen:") for name in bench.names())
+
     def test_every_program_declares_a_bug(self):
         for prog in bench.all_programs().values():
             assert prog.bug_kinds, f"{prog.name} declares no bug kinds"

@@ -71,6 +71,67 @@ class TestCampaign:
         assert "cumulative bugs" in out
 
 
+class TestGen:
+    def test_gen_prints_corpus_table(self, capsys):
+        assert main(["gen", "--seed", "5", "--count", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "gen:5" in out and "gen:10" in out
+        assert "6 programs" in out
+
+    def test_gen_writes_jsonl(self, capsys, tmp_path):
+        target = tmp_path / "corpus.jsonl"
+        assert main(
+            ["gen", "--seed", "5", "--count", "3", "--quiet", "--out", str(target)]
+        ) == 0
+        lines = target.read_text().splitlines()
+        assert len(lines) == 3
+        import json
+
+        record = json.loads(lines[0])
+        assert record["spec"]["seed"] == 5
+        assert "ground_truth" in record
+
+    def test_gen_with_config_token(self, capsys):
+        assert main(["gen", "--seed", "1", "--count", "2", "--config", "t=2"]) == 0
+        assert "gen:1:t=2" in capsys.readouterr().out
+
+    def test_gen_rejects_bad_config_token(self):
+        with pytest.raises(SystemExit):
+            main(["gen", "--config", "zz=9"])
+
+    def test_fuzz_accepts_gen_name(self, capsys):
+        assert main(["fuzz", "gen:3", "--budget", "50", "--seed", "0"]) == 0
+        assert "gen:3" in capsys.readouterr().out
+
+
+class TestEvalGen:
+    def test_small_eval_writes_report(self, capsys, tmp_path):
+        target = tmp_path / "report.json"
+        code = main(
+            [
+                "eval-gen",
+                "--seed", "2000",
+                "--count", "4",
+                "--tools", "RFF",
+                "--trials", "1",
+                "--budget", "60",
+                "--sanitizer-budget", "20",
+                "--out", str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Crash channel" in out
+        assert "Sanitizer channel" in out
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 1
+        assert set(payload["tools"]) == {"RFF"}
+        assert set(payload["sanitizers"]) == {"race", "lockset", "lockorder"}
+        assert len(payload["corpus"]["programs"]) == 4
+
+
 class TestFigure5:
     def test_figure5_runs(self, capsys):
         code = main(["figure5", "--program", "CS/reorder_3", "--executions", "60"])

@@ -1,0 +1,145 @@
+"""Hypothesis properties of the scenario generator (repro.gen.synth/plant).
+
+The three contracts ISSUE 6 pins:
+
+* **termination** — every generated program finishes (no truncation) under
+  RandomWalk within its *declared* step budget, whatever the knobs;
+* **internal consistency** — the planted-bug metadata re-validates against
+  the actual spec structure (``plant.validate``), and observed crashes
+  match the labelled outcome;
+* **determinism** — same seed + config → byte-identical spec, ground truth
+  and ``gen:`` name, across calls and through name-based resolution (the
+  property the parallel engine's serial == parallel guarantee rests on).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import plant
+from repro.gen.synth import (
+    GEN_PREFIX,
+    GenConfig,
+    corpus,
+    from_name,
+    gen_configs,
+    iter_names,
+    program_specs,
+    spec_name,
+    synthesize,
+)
+from repro.runtime.executor import Executor
+from repro.schedulers.random_walk import RandomWalkPolicy
+
+_seeds = st.integers(0, 2**32 - 1)
+#: Modest knob ranges keep each example a few milliseconds.
+_small_configs = gen_configs()
+
+
+class TestDeterminism:
+    @given(_seeds, _small_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_is_byte_identical(self, seed, config):
+        first = synthesize(seed, config)
+        second = synthesize(seed, config)
+        assert first.spec.to_json() == second.spec.to_json()
+        assert first.ground_truth.to_dict() == second.ground_truth.to_dict()
+        assert first.to_json() == second.to_json()
+        assert first.name == second.name
+
+    @given(_seeds, _small_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_name_resolution_round_trips(self, seed, config):
+        generated = synthesize(seed, config)
+        assert generated.name.startswith(GEN_PREFIX)
+        resolved = from_name(generated.name)
+        assert resolved.to_json() == generated.to_json()
+
+    @given(_small_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_config_token_round_trips(self, config):
+        assert GenConfig.from_token(config.to_token()) == config
+
+    def test_default_config_has_empty_token(self):
+        assert GenConfig().to_token() == ""
+        assert spec_name(7) == "gen:7"
+        assert spec_name(7, "t=3") == "gen:7:t=3"
+
+    def test_corpus_names_are_consecutive_and_match_iter_names(self):
+        programs = corpus(100, 5)
+        assert [p.name for p in programs] == list(iter_names(100, 5))
+        assert [p.spec.seed for p in programs] == [100, 101, 102, 103, 104]
+
+    @pytest.mark.parametrize(
+        "name", ["gen:x", "gen:1:zz=3", "gen:1:mix=r1", "nope/nothere"]
+    )
+    def test_malformed_names_raise_keyerror(self, name):
+        with pytest.raises(KeyError):
+            from_name(name)
+
+
+class TestInternalConsistency:
+    @given(program_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_ground_truth_validates_against_spec(self, generated):
+        plant.validate(generated.spec, generated.ground_truth)
+
+    @given(program_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_program_mirrors_spec(self, generated):
+        program = generated.program
+        truth = generated.ground_truth
+        assert program.name == generated.spec.name
+        assert program.suite == "Generated"
+        assert program.max_steps == generated.spec.step_budget
+        if truth.kind == "none":
+            assert program.bug_kinds == frozenset()
+        else:
+            assert program.bug_kinds == frozenset({truth.crash_outcome})
+        assert program.extra["ground_truth"] == truth.to_dict()
+
+    @given(_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_every_bug_kind_is_plantable(self, seed):
+        """Force each kind via the mix weights; the label must match."""
+        for index, kind in enumerate(("race", "deadlock", "atomicity", "none")):
+            mix = tuple(1 if i == index else 0 for i in range(4))
+            generated = synthesize(seed, GenConfig(bug_mix=mix))
+            assert generated.ground_truth.kind == kind
+            plant.validate(generated.spec, generated.ground_truth)
+
+
+class TestTermination:
+    @given(program_specs(), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_terminates_within_declared_budget_under_random_walk(
+        self, generated, walk_seed
+    ):
+        policy = RandomWalkPolicy(seed=walk_seed)
+        executor = Executor(
+            generated.program, policy, max_steps=generated.spec.step_budget
+        )
+        result = executor.run()
+        truth = generated.ground_truth
+        # Never truncated: either a clean finish or the planted crash.
+        assert not result.truncated
+        assert len(executor.trace.events) <= generated.spec.step_budget
+        if result.outcome is not None:
+            assert truth.kind != "none", (
+                f"bug-free program crashed with {result.outcome}"
+            )
+            assert result.outcome == truth.crash_outcome
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_bug_free_programs_never_crash(self, seed):
+        generated = synthesize(seed, GenConfig(bug_mix=(0, 0, 0, 1)))
+        for walk_seed in range(3):
+            result = Executor(
+                generated.program,
+                RandomWalkPolicy(seed=walk_seed),
+                max_steps=generated.spec.step_budget,
+            ).run()
+            assert result.outcome is None, result.outcome

@@ -20,6 +20,9 @@ from repro.core.fuzzer import fuzz
 from repro.core.minimize import crash_rate, minimize_schedule
 from repro.core.mutation import MUTATION_OPERATORS, EventPool, ScheduleMutator
 from repro.core.trace import Trace
+from repro.gen.synth import GenConfig, synthesize
+from repro.runtime.executor import Executor
+from repro.schedulers.random_walk import RandomWalkPolicy
 
 from tests.conftest import make_reorder
 
@@ -199,6 +202,91 @@ class TestEventPoolProperties:
         assert pool.observe(trace) == 0
         assert len(pool) == size
         assert pool.reads == reads
+
+
+@st.composite
+def generated_pools(draw):
+    """An EventPool observed from a real trace of a *generated* program.
+
+    Synthetic event lists (``pools()``) exercise the operators on arbitrary
+    shapes; this strategy pins the same contracts on traces the executor
+    actually produces — sync events, spawns/joins, rmw/cas, planted-bug
+    windows and all (ROADMAP item 5 / ISSUE 6 satellite).
+    """
+    seed = draw(st.integers(0, 250))
+    generated = synthesize(seed, GenConfig(max_threads=3, max_blocks=3))
+    policy = RandomWalkPolicy(seed=draw(st.integers(0, 50)))
+    result = Executor(
+        generated.program, policy, max_steps=generated.spec.step_budget
+    ).run()
+    pool = EventPool()
+    pool.observe(result.trace)
+    return pool
+
+
+@st.composite
+def generated_pool_and_schedule(draw):
+    pool = draw(generated_pools())
+    return pool, draw(schedules_from(pool))
+
+
+class TestGeneratedProgramMutation:
+    """Mutation/splice properties over pools from generated-program traces."""
+
+    @given(generated_pool_and_schedule(), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_mutants_are_well_formed_and_pool_closed(self, pool_alpha, seed):
+        pool, alpha = pool_alpha
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=5)
+        mutant = alpha
+        for _ in range(8):
+            mutant = mutator.mutate(mutant, pool)
+            for constraint in mutant:
+                _assert_well_formed(constraint)
+                assert constraint.read in pool.reads.get(constraint.location, [])
+                assert constraint.write is None or constraint.write in pool.writes.get(
+                    constraint.location, []
+                )
+
+    @given(generated_pool_and_schedule(), st.integers(0, 10_000), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_mutation_chain_respects_cap(self, pool_alpha, seed, cap):
+        pool, alpha = pool_alpha
+        assume(len(alpha) <= cap)
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=cap)
+        mutant = alpha
+        for _ in range(10):
+            mutant = mutator.mutate(mutant, pool)
+            assert len(mutant) <= cap
+
+    @given(generated_pool_and_schedule(), st.integers(0, 10_000), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_splice_child_is_bounded_subset_of_parents(self, pool_alpha, seed, cap):
+        pool, alpha = pool_alpha
+        beta = AbstractSchedule(frozenset(c.negated() for c in alpha))
+        mutator = ScheduleMutator(random.Random(seed), max_constraints=cap)
+        child = mutator.splice(alpha, beta)
+        union = alpha.constraints | beta.constraints
+        assert child.constraints <= union
+        assert len(child) <= cap
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=5, deadline=None)
+    def test_minimized_generated_crash_is_subset(self, seed):
+        """Minimization's subset contract holds on generated planted bugs."""
+        generated = synthesize(seed, GenConfig(max_threads=3, max_blocks=3))
+        assume(generated.ground_truth.crash_outcome == "assertion")
+        report = fuzz(
+            generated.program, max_executions=200, seed=0, stop_on_first_crash=True
+        )
+        assume(report.crashes)
+        alpha = report.crashes[0].abstract_schedule
+        assume(crash_rate(generated.program, alpha, probes=3, base_seed=0) >= 0.6)
+        outcome = minimize_schedule(
+            generated.program, alpha, probes=3, threshold=0.6, base_seed=0
+        )
+        assert outcome.minimized.constraints <= outcome.original.constraints
+        assert outcome.removed == len(outcome.original) - len(outcome.minimized)
 
 
 class TestMinimizationProperties:

@@ -127,6 +127,8 @@ class TestValidateRecord:
             "sanitizer_report",
             "checkpoint",
             "campaign_end",
+            "gen_corpus",
+            "gen_eval_end",
         }
 
 
