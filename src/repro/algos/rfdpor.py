@@ -41,6 +41,7 @@ _MEMORY_KINDS = frozenset(
         "hw",
         "lock",
         "trylock",
+        "trysem",
         "unlock",
         "wait",
         "signal",

@@ -36,11 +36,11 @@ PLAIN_READS = frozenset({"r", "hr"})
 PLAIN_WRITES = frozenset({"w", "hw"})
 #: Event kinds acting as acquire+release synchronization on their location.
 SYNC_KINDS = frozenset(
-    {"lock", "trylock", "unlock", "wait", "signal", "broadcast", "sem_acquire", "sem_release", "barrier", "rmw", "cas"}
+    {"lock", "trylock", "unlock", "wait", "signal", "broadcast", "sem_acquire", "trysem", "sem_release", "barrier", "rmw", "cas"}
 )
 #: The subset of SYNC_KINDS that acquire (join the location's release clock)
 #: before releasing; the rest are release-only (unlock, signal, sem_release).
-ACQUIRE_KINDS = frozenset({"lock", "trylock", "wait", "sem_acquire", "barrier", "rmw", "cas"})
+ACQUIRE_KINDS = frozenset({"lock", "trylock", "wait", "sem_acquire", "trysem", "barrier", "rmw", "cas"})
 
 # Backwards-compatible private aliases (pre-online-sanitizer names).
 _DATA_PREFIXES = DATA_PREFIXES

@@ -1,5 +1,7 @@
-"""Benchmark programs: models of the 49 SCTBench + ConVul subjects."""
+"""Benchmark programs: models of the 49 SCTBench + ConVul subjects,
+plus the ``gen:`` generated-scenario and ``py:`` real-Python namespaces."""
 
+from repro.bench.pybench import py_names, py_programs
 from repro.bench.registry import (
     EXPECTED_PROGRAM_COUNT,
     all_programs,
@@ -16,4 +18,6 @@ __all__ = [
     "get",
     "mc_supported",
     "names",
+    "py_names",
+    "py_programs",
 ]

@@ -4,11 +4,17 @@ Programs are keyed by their Appendix B names (``CS/reorder_100``,
 ``ConVul-CVE-Benchmarks/CVE-2016-9806``, ...).  The registry is the single
 source the harness, tests and benches iterate over.
 
-Beyond the fixed corpus, names under the ``gen:`` namespace resolve to
-*generated* scenarios (:mod:`repro.gen`): ``get("gen:<seed>[:<token>]")``
-re-synthesizes the program deterministically from the name, which is what
-makes generated programs first-class campaign targets — parallel workers,
-replay and the CLI all rebuild the identical program from its name.
+Beyond the fixed corpus, two namespaces resolve by name:
+
+* ``gen:`` — *generated* scenarios (:mod:`repro.gen`):
+  ``get("gen:<seed>[:<token>]")`` re-synthesizes the program
+  deterministically from the name;
+* ``py:`` — *real-Python* ``threading`` targets run under the substrate
+  (:mod:`repro.bench.pybench`), e.g. ``get("py:counter_race")``.
+
+Name-based resolution is what makes both first-class campaign targets —
+parallel workers, replay and the CLI all rebuild the identical program
+from its name.
 """
 
 from __future__ import annotations
@@ -52,7 +58,7 @@ def all_programs() -> dict[str, Program]:
 
 
 def get(name: str) -> Program:
-    """Look one program up by its Appendix B name or ``gen:`` spec.
+    """Look one program up by its Appendix B name, ``gen:`` or ``py:`` spec.
 
     Unknown names raise a ``KeyError`` listing the closest matches, so a
     typo like ``CS/reorder_1000`` points straight at ``CS/reorder_100``.
@@ -61,6 +67,10 @@ def get(name: str) -> Program:
 
     if name.startswith(GEN_PREFIX):
         return from_name(name).program
+    from repro.bench.pybench import PY_PREFIX, get as py_get
+
+    if name.startswith(PY_PREFIX):
+        return py_get(name)
     programs = all_programs()
     if name not in programs:
         close = difflib.get_close_matches(name, programs, n=3, cutoff=0.4)

@@ -37,6 +37,37 @@ from repro.harness.tools import (
 )
 
 
+def _add_substrate_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--substrate", choices=("dsl", "py"), default="dsl",
+                        help="program substrate: 'dsl' (modeled benchmarks, gen: "
+                             "scenarios) or 'py' (real-Python threading targets; "
+                             "bare names map to the py: namespace)")
+
+
+def _resolve_program(name: str, substrate: str = "dsl"):
+    """Resolve a program name under the chosen substrate.
+
+    Under ``--substrate=py`` bare names map into the ``py:`` namespace
+    (``counter_race`` -> ``py:counter_race``).  Lookup failures become a
+    clean ``SystemExit`` so diagnostics land on stderr, not a traceback.
+    """
+    if substrate == "py" and not name.startswith("py:"):
+        name = f"py:{name}"
+    try:
+        return bench.get(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+
+
+def _check_memory_model(prog, memory_model: str) -> None:
+    """Real-Python programs execute on real memory: SC only."""
+    if prog.suite == "py" and memory_model != "sc":
+        raise SystemExit(
+            f"{prog.name} runs real Python code on real memory; "
+            f"--memory-model {memory_model} is only meaningful for DSL programs"
+        )
+
+
 def _parse_sanitizers(spec: str | None) -> tuple[str, ...]:
     if not spec:
         return ()
@@ -92,7 +123,8 @@ def _make_tool(name: str):
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    for name in bench.names():
+    listed = bench.py_names() if args.substrate == "py" else bench.names()
+    for name in listed:
         prog = bench.get(name)
         kinds = ",".join(sorted(prog.bug_kinds)) or "none"
         mc = "mc" if prog.mc_supported else "  "
@@ -101,7 +133,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    prog = bench.get(args.program)
+    prog = _resolve_program(args.program, args.substrate)
+    _check_memory_model(prog, args.memory_model)
     config = RffConfig(
         use_feedback=not args.no_feedback,
         use_power_schedule=not args.no_power,
@@ -153,7 +186,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.runtime.executor import Executor
     from repro.schedulers.pos import PosPolicy
 
-    prog = bench.get(args.program)
+    prog = _resolve_program(args.program, args.substrate)
     races: set[tuple[str, str, str]] = set()
     discipline: set[str] = set()
     deadlock_cycles: set[tuple[str, ...]] = set()
@@ -175,14 +208,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    prog = bench.get(args.program)
+    prog = _resolve_program(args.program, args.substrate)
     tool = _make_tool(args.tool)
     tool.sanitizers = _parse_sanitizers(args.sanitize)
     tool.guard = _parse_guard(args)
     tool.verify_replays = args.verify_replays
     result = tool.find_bug(prog, budget=args.budget, seed=args.seed)
     if result.error:
-        print(f"{tool.name} on {prog.name}: Error ({result.error})")
+        # Diagnostics go to stderr: stdout stays parseable for pipelines.
+        print(f"{tool.name} on {prog.name}: Error ({result.error})", file=sys.stderr)
         return 2
     status = f"bug ({result.outcome}) at schedule {result.schedules_to_bug}" if result.found else "no bug"
     print(f"{tool.name} on {prog.name}: {status} after {result.executions} schedules")
@@ -195,7 +229,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    program_names = list(args.programs or bench.names())
+    if args.programs:
+        program_names = [
+            name if args.substrate != "py" or name.startswith("py:") else f"py:{name}"
+            for name in args.programs
+        ]
+    else:
+        program_names = bench.py_names() if args.substrate == "py" else bench.names()
     tool_names = list(args.tools) if args.tools else [t.name for t in paper_tools()]
     sanitizers = _parse_sanitizers(args.sanitize)
     config = CampaignConfig(
@@ -284,7 +324,7 @@ def _cmd_dpor(args: argparse.Namespace) -> int:
     """Exhaustive-ish race-reversal exploration (rf-DPOR)."""
     from repro.algos.rfdpor import RfDporExplorer
 
-    prog = bench.get(args.program)
+    prog = _resolve_program(args.program)
     report = RfDporExplorer(
         prog,
         max_executions=args.budget,
@@ -304,7 +344,8 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     from repro.core.fuzzer import RffFuzzer
     from repro.harness.triage import triage_report, write_artifacts
 
-    prog = bench.get(args.program)
+    prog = _resolve_program(args.program, args.substrate)
+    _check_memory_model(prog, args.memory_model)
     config = RffConfig(
         memory_model=args.memory_model,
         sanitizers=_parse_sanitizers(args.sanitize),
@@ -332,6 +373,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.schedulers import ReplayPolicy
 
     raw = load_json(args.file)
+    recorded = raw.get("program") if isinstance(raw, dict) else None
+    if args.substrate is not None and isinstance(recorded, str):
+        is_py = recorded.startswith("py:")
+        if is_py != (args.substrate == "py"):
+            print(
+                f"error: {args.file} records {recorded!r} "
+                f"({'py' if is_py else 'dsl'} substrate), but --substrate "
+                f"{args.substrate} was requested",
+                file=sys.stderr,
+            )
+            return 2
     if isinstance(raw, dict) and raw.get("artifact") == "rff-repro":
         from repro.harness.persist import ChecksumError
         from repro.harness.triage import load_artifact, verify_artifact
@@ -357,7 +409,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.harness.persist import crash_from_dict
 
     program_name, crash = raw["program"], crash_from_dict(raw)
-    prog = bench.get(program_name)
+    prog = _resolve_program(program_name)
     if args.verify:
         from repro.core.reproduce import bucket_id, verify_replay
         from repro.harness.triage import crash_bucket_key
@@ -393,10 +445,19 @@ def _parse_gen_config(token: str | None):
 
 def _cmd_gen(args: argparse.Namespace) -> int:
     """Synthesize a seeded corpus of generated scenarios."""
-    from repro.gen.synth import corpus
+    import json
 
-    config = _parse_gen_config(args.config)
-    programs = corpus(args.seed, args.count, config)
+    from repro.gen.synth import GenConfig, corpus
+
+    try:
+        config = GenConfig.from_token(args.config or "")
+        programs = corpus(args.seed, args.count, config)
+    except ValueError as exc:
+        if args.json:
+            # Machine-readable failure: one JSON object on stdout, exit 2.
+            print(json.dumps({"ok": False, "error": str(exc)}))
+            return 2
+        raise SystemExit(str(exc)) from None
     out = None
     if args.out:
         import pathlib
@@ -405,11 +466,22 @@ def _cmd_gen(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         handle = out.open("w", encoding="utf-8")
     kinds: dict[str, int] = {}
+    rows = []
     for generated in programs:
         truth = generated.ground_truth
         kinds[truth.kind] = kinds.get(truth.kind, 0) + 1
         spec = generated.spec
-        if not args.quiet:
+        rows.append(
+            {
+                "name": generated.name,
+                "kind": truth.kind,
+                "threads": len(spec.threads),
+                "ops": spec.total_ops,
+                "window": truth.window,
+                "budget": spec.step_budget,
+            }
+        )
+        if not args.quiet and not args.json:
             print(
                 f"{generated.name:24s} {truth.kind or 'none':9s} "
                 f"threads={len(spec.threads)} ops={spec.total_ops:3d} "
@@ -420,7 +492,24 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     if out is not None:
         handle.close()
     breakdown = ", ".join(f"{kind}: {count}" for kind, count in sorted(kinds.items()))
-    print(f"{len(programs)} programs ({breakdown})" + (f" -> {out}" if out else ""))
+    summary = f"{len(programs)} programs ({breakdown})" + (f" -> {out}" if out else "")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": True,
+                    "seed": args.seed,
+                    "count": args.count,
+                    "config": config.to_token(),
+                    "programs": rows,
+                    "kinds": kinds,
+                    "out": str(out) if out else None,
+                }
+            )
+        )
+        print(summary, file=sys.stderr)  # human summary off the JSON stream
+    else:
+        print(summary)
     return 0
 
 
@@ -484,10 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="rff", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmark programs").set_defaults(func=_cmd_list)
+    p_list = sub.add_parser("list", help="list benchmark programs")
+    _add_substrate_flag(p_list)
+    p_list.set_defaults(func=_cmd_list)
 
     p_fuzz = sub.add_parser("fuzz", help="fuzz one program with RFF")
     p_fuzz.add_argument("program")
+    _add_substrate_flag(p_fuzz)
     p_fuzz.add_argument("--budget", type=int, default=1000)
     p_fuzz.add_argument("--seed", type=int, default=0)
     p_fuzz.add_argument("--keep-going", action="store_true", help="do not stop at the first crash")
@@ -507,12 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_analyze = sub.add_parser("analyze", help="dynamic trace analyses (races, locks)")
     p_analyze.add_argument("program")
+    _add_substrate_flag(p_analyze)
     p_analyze.add_argument("--executions", type=int, default=20)
     p_analyze.add_argument("--seed", type=int, default=0)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_run = sub.add_parser("run", help="run one baseline tool on one program")
     p_run.add_argument("program")
+    _add_substrate_flag(p_run)
     p_run.add_argument("--tool", default="POS")
     p_run.add_argument("--budget", type=int, default=1000)
     p_run.add_argument("--seed", type=int, default=0)
@@ -525,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_campaign = sub.add_parser("campaign", help="run a tools x programs x trials campaign")
+    _add_substrate_flag(p_campaign)
     p_campaign.add_argument("--trials", type=int, default=3)
     p_campaign.add_argument("--budget", type=int, default=500)
     p_campaign.add_argument("--seed", type=int, default=1234)
@@ -557,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
         "triage", help="fuzz keep-going, bucket findings, verify reproducers"
     )
     p_triage.add_argument("program")
+    _add_substrate_flag(p_triage)
     p_triage.add_argument("--budget", type=int, default=1000)
     p_triage.add_argument("--seed", type=int, default=0)
     p_triage.add_argument("--replays", type=int, default=5,
@@ -583,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a persisted crash file or repro artifact"
     )
     p_replay.add_argument("file")
+    p_replay.add_argument("--substrate", choices=("dsl", "py"), default=None,
+                          help="validate that the file's program belongs to this "
+                               "substrate before replaying")
     p_replay.add_argument("--trace", type=int, metavar="N", default=0,
                           help="print the first N trace events")
     p_replay.add_argument("--verify", action="store_true",
@@ -602,6 +701,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", metavar="FILE",
                        help="write one JSON object per program (spec + ground truth) to FILE")
     p_gen.add_argument("--quiet", action="store_true", help="suppress the per-program table")
+    p_gen.add_argument("--json", action="store_true",
+                       help="emit one JSON object on stdout (per-program rows + kind "
+                            "breakdown); the human summary moves to stderr")
     p_gen.set_defaults(func=_cmd_gen)
 
     p_eval = sub.add_parser(

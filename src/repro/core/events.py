@@ -45,7 +45,7 @@ class AbstractEvent:
 
 
 #: Operation kinds whose events consume a value (participate as rf targets).
-_READ_KINDS = frozenset({"r", "hr", "rmw", "cas", "lock", "trylock", "wait", "sem_acquire", "barrier"})
+_READ_KINDS = frozenset({"r", "hr", "rmw", "cas", "lock", "trylock", "wait", "sem_acquire", "trysem", "barrier"})
 #: Operation kinds whose events produce a value (participate as rf sources).
 _WRITE_KINDS = frozenset(
     {

@@ -130,16 +130,28 @@ class GenConfig:
             return cls()
         kwargs: dict[str, Any] = {}
         short = {key: fname for key, fname in cls._TOKEN_FIELDS}
+        grammar = f"valid knobs: {', '.join(f'{k}=<int>' for k in short)}, mix=r#d#a#n#"
         for part in token.split(","):
             key, sep, value = part.partition("=")
             if not sep:
-                raise ValueError(f"malformed gen config token part {part!r}")
+                raise ValueError(
+                    f"malformed gen config token part {part!r}: "
+                    f"expected <knob>=<value> ({grammar})"
+                )
             if key == "mix":
                 kwargs["bug_mix"] = _parse_mix(value)
             elif key in short:
-                kwargs[short[key]] = int(value)
+                try:
+                    kwargs[short[key]] = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"malformed gen config token part {part!r}: "
+                        f"knob {key!r} needs an integer, got {value!r} ({grammar})"
+                    ) from None
             else:
-                raise ValueError(f"unknown gen config token key {key!r}")
+                raise ValueError(
+                    f"unknown gen config token key {key!r} in part {part!r} ({grammar})"
+                )
         return cls(**kwargs)
 
 

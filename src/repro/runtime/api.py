@@ -49,6 +49,25 @@ class Api:
     def __init__(self) -> None:
         self.heap = Heap()
         self._objects: dict[str, Any] = {}
+        self._cleanups: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Execution-scoped cleanups
+    # ------------------------------------------------------------------
+    def add_cleanup(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run when the execution ends (LIFO order).
+
+        The executor invokes cleanups after closing every thread generator,
+        whatever the outcome (completion, crash, truncation, harness error).
+        The real-Python substrate uses this to abort parked OS threads and
+        restore the stdlib monkeypatches.
+        """
+        self._cleanups.append(fn)
+
+    def run_cleanups(self) -> None:
+        """Run and clear all registered cleanups, most recent first."""
+        while self._cleanups:
+            self._cleanups.pop()()
 
     # ------------------------------------------------------------------
     # Shared-object factories
@@ -132,6 +151,10 @@ class Api:
     def acquire(self, sem: Semaphore, loc: str | None = None) -> ops.SemAcquireOp:
         """Decrement ``sem``; blocks while the count is zero."""
         return ops.SemAcquireOp(sem=sem, loc=loc)
+
+    def try_acquire(self, sem: Semaphore, loc: str | None = None) -> ops.TrySemAcquireOp:
+        """Attempt to decrement ``sem`` without blocking; yields True on success."""
+        return ops.TrySemAcquireOp(sem=sem, loc=loc)
 
     def release(self, sem: Semaphore, loc: str | None = None) -> ops.SemReleaseOp:
         """Increment ``sem``."""

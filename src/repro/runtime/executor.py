@@ -233,6 +233,7 @@ _APPLY_METHODS: dict[type[ops.Op], str] = {
     ops.SignalOp: "_apply_signal",
     ops.BroadcastOp: "_apply_broadcast",
     ops.SemAcquireOp: "_apply_sem_acquire",
+    ops.TrySemAcquireOp: "_apply_try_sem_acquire",
     ops.SemReleaseOp: "_apply_sem_release",
     ops.BarrierOp: "_apply_barrier",
     ops.SpawnOp: "_apply_spawn",
@@ -373,6 +374,15 @@ class Executor:
             self.trace.outcome = violation.kind
             self.trace.failure = str(violation)
             failure_frames = tuple(violation.frames) or self._frontier_frames()
+        finally:
+            # Regardless of outcome, close every thread generator and run
+            # execution-scoped cleanups (the real-Python substrate registers
+            # one to abort parked OS threads and restore stdlib patches).
+            # Truncated or crashed executions leave generators suspended;
+            # without this they would leak resources across the thousands of
+            # executions of a fuzzing campaign.
+            self._close_threads()
+            self.api.run_cleanups()
         # Hand the incrementally collected rf state to the trace, making
         # rf_pairs()/rf_signature() O(1) memoized lookups for this trace.
         self.trace.seed_rf_cache(self._rf_pair_ids, self._rf_sig_hash)
@@ -398,6 +408,24 @@ class Executor:
             counters.livelocks += 1
         self.policy.end(result, self)
         return result
+
+    def _close_threads(self) -> None:
+        """Close every thread generator, main first (execution teardown).
+
+        Finished generators make this a cheap no-op; suspended ones receive
+        ``GeneratorExit`` at their yield point.  Exceptions raised by
+        teardown code are swallowed: the execution's outcome is already
+        decided and a noisy ``finally`` in program code must not abort the
+        campaign.
+        """
+        for thread in self.threads:
+            close = getattr(thread.gen, "close", None)
+            if close is None:
+                continue
+            try:
+                close()
+            except BaseException:  # noqa: BLE001 - teardown must not raise
+                pass
 
     def _frontier_frames(self) -> tuple[str, ...]:
         """The pending program points of all live threads, sorted.
@@ -598,6 +626,13 @@ class Executor:
         rf = self._last_write.get(location, 0)
         op.sem.count -= 1
         return rf, None, None, True, None
+
+    def _apply_try_sem_acquire(self, thread: ThreadState, op: ops.TrySemAcquireOp, eid: int, location: str):
+        sem = op.sem
+        success = sem.count > 0
+        if success:
+            sem.count -= 1
+        return self._last_write.get(location, 0), success, success, True, None
 
     def _apply_sem_release(self, thread: ThreadState, op: ops.SemReleaseOp, eid: int, location: str):
         op.sem.count += 1

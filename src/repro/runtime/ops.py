@@ -232,6 +232,25 @@ class SemAcquireOp(Op):
 
 
 @dataclass
+class TrySemAcquireOp(Op):
+    """Attempt to decrement a semaphore without blocking; yields success bool.
+
+    The non-blocking analogue of :class:`SemAcquireOp`, mirroring
+    ``threading.Semaphore.acquire(blocking=False)`` (used by the real-Python
+    substrate to model e.g. ``ThreadPoolExecutor``'s idle-worker probe).
+    """
+
+    sem: "Semaphore" = None  # type: ignore[assignment]
+
+    kind = "trysem"
+    category = "rmw"
+    writes = None  # depends on whether the acquisition succeeded
+
+    def _location(self) -> str:
+        return self.sem.location
+
+
+@dataclass
 class SemReleaseOp(Op):
     """Increment a semaphore, enabling one blocked acquirer."""
 

@@ -51,6 +51,7 @@ _FENCING_KINDS = frozenset(
         "signal",
         "broadcast",
         "sem_acquire",
+        "trysem",
         "sem_release",
         "barrier",
         "spawn",

@@ -1,0 +1,33 @@
+"""Real-Python ``threading`` substrate: fuzz actual stdlib-concurrent code.
+
+A second substrate underneath the whole RFF stack (ROADMAP item 1, the
+Fray-style "general-purpose platform" leap): real OS threads are parked on
+per-thread gates and released one at a time from the existing executor's
+candidate-selection point, stdlib sync primitives are shimmed onto
+``repro.runtime.objects`` equivalents, and opted-in shared memory feeds the
+reads-from relation through a settrace/class-swap observer.  Everything
+above the substrate line — schedulers, RFF feedback, sanitizers, campaign,
+triage, replay — applies verbatim.
+
+Public surface:
+
+* :func:`py_program` / :data:`PyProgram` — wrap real-Python callables into
+  a :class:`~repro.runtime.program.Program`.
+* :func:`track` — opt an object's attributes into shared-memory observation.
+* The ``py:`` benchmark namespace (:mod:`repro.bench.pybench`) registers
+  the seed targets with the global registry.
+"""
+
+from repro.substrate.gate import SubstrateAbort, SubstrateContext, active_context
+from repro.substrate.observer import Observer, track
+from repro.substrate.program import PyProgram, py_program
+
+__all__ = [
+    "Observer",
+    "PyProgram",
+    "SubstrateAbort",
+    "SubstrateContext",
+    "active_context",
+    "py_program",
+    "track",
+]

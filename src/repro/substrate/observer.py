@@ -1,0 +1,239 @@
+"""Shared-memory observer: Read/Write events for real Python state.
+
+Two complementary mechanisms feed attribute and global mutations of
+*opted-in* state into the reads-from relation:
+
+* :func:`track` swaps an object's class for a generated subclass whose
+  ``__getattribute__``/``__setattr__`` emit ``ReadOp``/``WriteOp`` on a
+  per-``(object, attribute)`` :class:`SharedVar` before performing the real
+  access.  Only non-underscore attributes present in the instance
+  ``__dict__`` (or an explicit ``attrs`` set) are intercepted, so methods
+  and internals stay free.
+* :class:`Observer` installs a ``sys.settrace`` opcode tracer in every
+  controlled thread.  For registered modules it precomputes, per code
+  object, the instruction offsets of ``LOAD_GLOBAL``/``STORE_GLOBAL`` on
+  tracked names, and parks the thread *before* each such instruction
+  executes, emitting a ``ReadOp`` or ``WriteOp``.  Parking pre-store is
+  what opens the lost-update window of ``G += 1``: a thread suspended at
+  its ``WriteOp`` has loaded but not yet stored, so an interleaved load
+  by another thread observes the stale value — exactly the real-memory
+  semantics the event stream claims.  The stored value lives on the
+  interpreter's evaluation stack (unreadable from a tracer), so write
+  events carry a ``"?"`` placeholder; read events resync the mirror from
+  the live module dict before parking, so their values are exact.
+
+Both paths park the thread at the gate like any shim operation, so tracked
+accesses are first-class scheduling points: RFF feedback, the FastTrack
+race sanitizer and triage keys see ``var:py.*`` locations exactly as they
+see DSL shared variables.
+"""
+
+from __future__ import annotations
+
+import dis
+from types import CodeType, FrameType, ModuleType
+from typing import Any, Callable, Iterable
+
+from repro.runtime import ops
+from repro.runtime.errors import ProgramError
+from repro.runtime.objects import SharedVar
+from repro.substrate import gate
+from repro.substrate.gate import SubstrateContext, call_site
+
+gate.register_internal_file(__file__)
+
+
+# ----------------------------------------------------------------------
+# Attribute tracking (class swap)
+# ----------------------------------------------------------------------
+class _TrackState:
+    """Per-instance tracking metadata, stored in the instance ``__dict__``."""
+
+    __slots__ = ("ctx", "name", "attrs", "vars")
+
+    def __init__(self, ctx: SubstrateContext, name: str, attrs: frozenset[str] | None):
+        self.ctx = ctx
+        self.name = name
+        self.attrs = attrs
+        #: attribute -> SharedVar, created lazily with deterministic names.
+        self.vars: dict[str, SharedVar] = {}
+
+    def var_for(self, attr: str, current: Any) -> SharedVar:
+        var = self.vars.get(attr)
+        if var is None:
+            var = self.vars[attr] = SharedVar(f"py.{self.name}.{attr}", current)
+        return var
+
+    def covers(self, attr: str) -> bool:
+        return self.attrs is None or attr in self.attrs
+
+
+def _tracked_getattribute(self: Any, attr: str) -> Any:
+    if not attr.startswith("_"):
+        d = object.__getattribute__(self, "__dict__")
+        if attr in d:
+            state: _TrackState | None = d.get("_substrate_track")
+            if state is not None and state.covers(attr) and state.ctx.is_controlled():
+                var = state.var_for(attr, d[attr])
+                # Sync the mirror before parking: untracked writers may have
+                # touched the real attribute since the last event.
+                var.value = d[attr]
+                state.ctx.call(ops.ReadOp(var=var, loc=call_site()))
+                # Re-read after the park: interleaved tracked writes landed.
+                return d[attr]
+    return object.__getattribute__(self, attr)
+
+
+def _tracked_setattr(self: Any, attr: str, value: Any) -> None:
+    if not attr.startswith("_"):
+        d = object.__getattribute__(self, "__dict__")
+        state: _TrackState | None = d.get("_substrate_track")
+        if state is not None and state.covers(attr) and state.ctx.is_controlled():
+            var = state.var_for(attr, d.get(attr))
+            state.ctx.call(ops.WriteOp(var=var, value=value, loc=call_site()))
+            # The dict store runs after the event but before any other
+            # thread can be scheduled, so the mutation is atomic with it.
+            d[attr] = value
+            return
+    object.__setattr__(self, attr, value)
+
+
+#: base class -> generated tracked subclass (shared across executions; the
+#: subclass carries no context, the per-instance _TrackState does).
+_TRACKED_CLASSES: dict[type, type] = {}
+
+
+def _tracked_class(cls: type) -> type:
+    sub = _TRACKED_CLASSES.get(cls)
+    if sub is None:
+        sub = type(
+            f"Tracked{cls.__name__}",
+            (cls,),
+            {
+                "__getattribute__": _tracked_getattribute,
+                "__setattr__": _tracked_setattr,
+                "__slots__": (),
+            },
+        )
+        _TRACKED_CLASSES[cls] = sub
+    return sub
+
+
+def track(obj: Any, name: str | None = None, attrs: Iterable[str] | None = None) -> Any:
+    """Opt ``obj`` into shared-memory observation; returns ``obj``.
+
+    Subsequent reads/writes of its public attributes (from controlled
+    threads) become visible Read/Write events on ``var:py.<name>.<attr>``
+    locations.  ``attrs`` restricts interception to the given names.
+    Requires an instance with a ``__dict__`` (most plain classes).
+    """
+    ctx = gate.active_context()
+    if ctx is None:
+        raise ProgramError("track() outside a substrate execution")
+    if not hasattr(obj, "__dict__"):
+        raise ProgramError(f"track() requires an instance with __dict__, got {type(obj).__name__}")
+    d = obj.__dict__
+    if isinstance(d.get("_substrate_track"), _TrackState):
+        return obj
+    cls = type(obj)
+    obj.__class__ = _tracked_class(cls)
+    label = name or f"obj{ctx.next_index('tracked')}"
+    frozen = frozenset(attrs) if attrs is not None else None
+    d["_substrate_track"] = _TrackState(ctx, label, frozen)
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Module-global tracking (settrace opcode observer)
+# ----------------------------------------------------------------------
+class _ModuleInfo:
+    __slots__ = ("label", "names", "module")
+
+    def __init__(self, label: str, names: frozenset[str], module: ModuleType):
+        self.label = label
+        self.names = names
+        self.module = module
+
+
+class Observer:
+    """Per-execution settrace observer for opted-in module globals."""
+
+    def __init__(self, ctx: SubstrateContext):
+        self._ctx = ctx
+        #: filename -> registered module info.
+        self._files: dict[str, _ModuleInfo] = {}
+        #: (module label, global name) -> SharedVar.
+        self._vars: dict[tuple[str, str], SharedVar] = {}
+        #: code object -> offset plan (None = nothing tracked in this code).
+        self._plans: dict[CodeType, dict[int, tuple[str, str, str]] | None] = {}
+
+    def register_module(self, module: ModuleType, names: Iterable[str]) -> None:
+        """Track ``LOAD_GLOBAL``/``STORE_GLOBAL`` of ``names`` in ``module``."""
+        filename = getattr(module, "__file__", None)
+        if filename is None:
+            raise ProgramError(f"cannot observe module {module.__name__!r} without __file__")
+        label = module.__name__.rsplit(".", 1)[-1]
+        self._files[filename] = _ModuleInfo(label, frozenset(names), module)
+
+    def var_for(self, info: _ModuleInfo, name: str) -> SharedVar:
+        key = (info.label, name)
+        var = self._vars.get(key)
+        if var is None:
+            var = self._vars[key] = SharedVar(
+                f"py.{info.label}.{name}", getattr(info.module, name, None)
+            )
+        return var
+
+    def _plan_for(self, code: CodeType) -> dict[int, tuple[str, str, str]] | None:
+        """instruction offset -> ("load"|"store", global name, loc label)."""
+        if code in self._plans:
+            return self._plans[code]
+        info = self._files.get(code.co_filename)
+        plan: dict[int, tuple[str, str, str]] | None = None
+        if info is not None and info.names.intersection(code.co_names):
+            plan = {}
+            line = code.co_firstlineno
+            for instr in dis.get_instructions(code):
+                if instr.starts_line is not None:
+                    line = instr.starts_line
+                if instr.opname in ("LOAD_GLOBAL", "STORE_GLOBAL") and instr.argval in info.names:
+                    kind = "load" if instr.opname == "LOAD_GLOBAL" else "store"
+                    plan[instr.offset] = (kind, instr.argval, f"{code.co_name}:{line}")
+            plan = plan or None
+        self._plans[code] = plan
+        return plan
+
+    def trace_function(self) -> Callable[..., Any]:
+        """The ``sys.settrace`` callable installed in controlled threads."""
+
+        def trace(frame: FrameType, event: str, arg: Any):
+            if event == "call":
+                plan = self._plan_for(frame.f_code)
+                if plan is None:
+                    return None
+                frame.f_trace_opcodes = True
+                return trace
+            if event == "opcode":
+                plan = self._plans.get(frame.f_code)
+                if plan:
+                    hit = plan.get(frame.f_lasti)
+                    if hit is not None:
+                        kind, name, loc = hit
+                        info = self._files[frame.f_code.co_filename]
+                        var = self.var_for(info, name)
+                        if kind == "load":
+                            # Sync the mirror, then park *before* the load:
+                            # the instruction then reads whatever interleaved
+                            # tracked stores left behind — matching the rf
+                            # edge the executor records at event time.
+                            var.value = frame.f_globals.get(name)
+                            self._ctx.call(ops.ReadOp(var=var, loc=loc))
+                        else:
+                            # Park *before* the store runs: a thread held
+                            # here has loaded but not stored, so scheduling
+                            # another thread in between loses this update —
+                            # the real interleaving the trace advertises.
+                            self._ctx.call(ops.WriteOp(var=var, value="?", loc=loc))
+            return trace
+
+        return trace

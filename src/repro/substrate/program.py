@@ -1,0 +1,92 @@
+"""Adapt real-Python callables to the :class:`~repro.runtime.program.Program` interface.
+
+:func:`py_program` wraps a plain callable (or a callable-per-thread spec)
+into a ``Program`` whose ``main`` generator activates a
+:class:`SubstrateContext`, bridges the entry callable as thread 0, and lets
+every ``threading.Thread`` the entry starts become a bridged real thread.
+The resulting ``Program`` is indistinguishable from a DSL benchmark to the
+executor, schedulers, fuzzer, campaign and triage layers.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.runtime.program import Program
+from repro.substrate.gate import SubstrateContext
+from repro.substrate.observer import Observer
+
+#: (module, iterable of global names) specs for the settrace observer.
+GlobalSpec = Iterable[tuple[ModuleType, Iterable[str]]]
+
+
+def _spawn_and_join(threads: Sequence[Callable[[], Any]]) -> Callable[[], None]:
+    """Synthesize an entry spawning one ``threading.Thread`` per callable."""
+
+    def entry() -> None:
+        import threading
+
+        workers = [
+            threading.Thread(target=fn, name=getattr(fn, "__name__", f"worker{i}"))
+            for i, fn in enumerate(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    return entry
+
+
+def py_program(
+    name: str,
+    entry: Callable[[], Any] | None = None,
+    *,
+    threads: Sequence[Callable[[], Any]] = (),
+    bug_kinds: tuple[str, ...] = (),
+    description: str = "",
+    max_steps: int | None = None,
+    track_globals: GlobalSpec | None = None,
+) -> Program:
+    """Build a ``Program`` fuzzing real ``threading`` code.
+
+    ``entry`` runs as the controlled main thread with the stdlib shims
+    installed; alternatively pass ``threads`` (a callable per worker) and an
+    entry that starts and joins them is synthesized.  ``track_globals``
+    attaches the settrace observer to the given module globals.
+    """
+    if entry is None:
+        if not threads:
+            raise ValueError("py_program needs an entry callable or a threads spec")
+        entry = _spawn_and_join(threads)
+    # Materialize the spec once: Program factories must be pure.
+    global_spec = (
+        tuple((module, tuple(names)) for module, names in track_globals)
+        if track_globals
+        else ()
+    )
+
+    def main(api):
+        ctx = SubstrateContext(name)
+        if global_spec:
+            observer = Observer(ctx)
+            for module, names in global_spec:
+                observer.register_module(module, names)
+            ctx.observer = observer
+        ctx.activate(api)
+        return (yield from ctx.bridge(entry, "main"))
+
+    return Program(
+        name=name,
+        main=main,
+        bug_kinds=frozenset(bug_kinds),
+        suite="py",
+        mc_supported=False,
+        description=description or (entry.__doc__ or "").strip(),
+        max_steps=max_steps,
+    )
+
+
+#: Discoverability alias: the ISSUE-level name for the adapter.
+PyProgram = py_program

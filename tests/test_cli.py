@@ -35,9 +35,11 @@ class TestFuzz:
         out = capsys.readouterr().out
         assert "first crash at:     None" in out
 
-    def test_unknown_program_raises(self):
-        with pytest.raises(KeyError):
+    def test_unknown_program_exits_cleanly(self):
+        # A typo must exit with a did-you-mean diagnostic, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
             main(["fuzz", "CS/bogus"])
+        assert "did you mean" in str(excinfo.value)
 
 
 class TestRun:
@@ -45,9 +47,11 @@ class TestRun:
         assert main(["run", "CS/account", "--tool", "POS", "--budget", "300"]) == 0
         assert "POS on CS/account" in capsys.readouterr().out
 
-    def test_run_genmc_error(self, capsys):
+    def test_run_genmc_error_goes_to_stderr(self, capsys):
         assert main(["run", "CS/reorder_10", "--tool", "GenMC"]) == 2
-        assert "Error" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "Error" in captured.err
+        assert "Error" not in captured.out
 
     def test_unknown_tool_exits(self):
         with pytest.raises(SystemExit):
@@ -102,6 +106,63 @@ class TestGen:
     def test_fuzz_accepts_gen_name(self, capsys):
         assert main(["fuzz", "gen:3", "--budget", "50", "--seed", "0"]) == 0
         assert "gen:3" in capsys.readouterr().out
+
+    def test_gen_json_success_is_parseable(self, capsys):
+        import json
+
+        assert main(["gen", "--seed", "5", "--count", "3", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] is True
+        assert payload["seed"] == 5
+        assert len(payload["programs"]) == 3
+        assert all("kind" in row and "name" in row for row in payload["programs"])
+        # Human summary stays off the JSON stream.
+        assert "3 programs" in captured.err
+
+    def test_gen_json_failure_is_parseable(self, capsys):
+        import json
+
+        assert main(["gen", "--config", "zz=9", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "zz" in payload["error"]
+        assert "valid knobs:" in payload["error"]
+
+
+class TestSubstrate:
+    def test_list_py_namespace(self, capsys):
+        assert main(["list", "--substrate", "py"]) == 0
+        out = capsys.readouterr().out
+        assert "py:counter_race" in out
+        assert "CS/reorder_100" not in out
+
+    def test_run_py_target_with_bare_name(self, capsys):
+        code = main(
+            ["run", "counter_race", "--substrate", "py",
+             "--tool", "RFF", "--budget", "200"]
+        )
+        assert code == 0
+        assert "py:counter_race" in capsys.readouterr().out
+
+    def test_py_program_rejects_tso(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["fuzz", "py:counter_race", "--substrate", "py",
+                 "--memory-model", "tso", "--budget", "10"]
+            )
+        assert "real memory" in str(excinfo.value)
+
+    def test_replay_substrate_mismatch_exits_2(self, capsys, tmp_path):
+        import json
+
+        crash_file = tmp_path / "crash.json"
+        crash_file.write_text(json.dumps({"program": "CS/account", "schedule": []}))
+        code = main(["replay", str(crash_file), "--substrate", "py"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "dsl substrate" in captured.err
+        assert captured.out == ""
 
 
 class TestEvalGen:

@@ -67,6 +67,32 @@ class TestDeterminism:
         assert spec_name(7) == "gen:7"
         assert spec_name(7, "t=3") == "gen:7:t=3"
 
+    @pytest.mark.parametrize(
+        "token, fragment",
+        [
+            ("t", "expected <knob>=<value>"),
+            ("t=x", "needs an integer, got 'x'"),
+            ("zz=3", "unknown gen config token key 'zz'"),
+        ],
+    )
+    def test_malformed_token_names_bad_part_and_grammar(self, token, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            GenConfig.from_token(token)
+        message = str(excinfo.value)
+        assert fragment in message
+        # Every parse error teaches the full knob grammar.
+        assert "valid knobs:" in message
+        assert "mix=r#d#a#n#" in message
+
+    def test_malformed_gen_name_raises_clean_keyerror(self):
+        from repro import bench
+
+        with pytest.raises(KeyError) as excinfo:
+            bench.get("gen:12:t=x")
+        message = str(excinfo.value)
+        assert "gen:12:t=x" in message
+        assert "valid knobs:" in message
+
     def test_corpus_names_are_consecutive_and_match_iter_names(self):
         programs = corpus(100, 5)
         assert [p.name for p in programs] == list(iter_names(100, 5))

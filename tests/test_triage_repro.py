@@ -196,6 +196,46 @@ class TestVerifyReplay:
         with pytest.raises(ValueError, match="replays"):
             verify_replay(twobugs_program, (), "assertion", replays=0)
 
+    def test_wall_clock_guard_cannot_flip_stable_to_flaky(self):
+        from repro.runtime.guard import GuardConfig
+
+        found = _find_crash(twobugs_program, lambda r: r.crashed)
+        key = dedup_key(found)
+        # An absurdly tight wall clock would time out every replay if it
+        # were honoured; verification must strip it (it is the one
+        # machine-speed-dependent guard) while keeping the step budget.
+        guard = GuardConfig(wall_seconds=1e-9, step_budget=100_000)
+        verdict = verify_replay(
+            twobugs_program,
+            tuple(found.schedule),
+            found.outcome,
+            key,
+            replays=5,
+            guard=guard,
+        )
+        assert verdict.verdict == STABLE
+        assert verdict.matches == 5
+        # The caller's config object is untouched.
+        assert guard.wall_seconds == 1e-9
+
+    def test_step_budget_still_enforced_during_verification(self):
+        from repro.runtime.guard import GuardConfig
+
+        found = _find_crash(twobugs_program, lambda r: r.crashed)
+        key = dedup_key(found)
+        verdict = verify_replay(
+            twobugs_program,
+            tuple(found.schedule),
+            found.outcome,
+            key,
+            replays=3,
+            guard=GuardConfig(wall_seconds=1e-9, step_budget=1),
+        )
+        # One step is never enough to reach the bug: deterministic budget
+        # violations must still surface as FLAKY, only the wall clock is
+        # exempt.
+        assert verdict.verdict == FLAKY
+
 
 # ----------------------------------------------------------------------
 # Bucket-preserving minimization (regression: ddmin must not morph bugs)
