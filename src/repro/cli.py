@@ -228,6 +228,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_campaign_persistence(args: argparse.Namespace) -> str | None:
+    """Catch misconfigured --resume/--store/--durable combinations early,
+    with diagnostics instead of tracebacks deep inside the engine."""
+    import pathlib
+
+    if args.durable and not args.store:
+        return "--durable requires --store DIR (the durable ledger campaigns write through)"
+    if args.resume and not args.checkpoint and not args.store:
+        return "--resume requires --checkpoint FILE or --store DIR to resume from"
+    if args.resume and args.checkpoint:
+        checkpoint = pathlib.Path(args.checkpoint)
+        if not checkpoint.exists():
+            return (
+                f"cannot --resume from {checkpoint}: checkpoint file does not exist "
+                "(drop --resume to start a fresh campaign)"
+            )
+        if checkpoint.stat().st_size == 0:
+            return (
+                f"cannot --resume from {checkpoint}: checkpoint file is empty "
+                "(drop --resume to start a fresh campaign)"
+            )
+    if args.store and not args.resume:
+        if (pathlib.Path(args.store) / "MANIFEST.json").exists():
+            return (
+                f"store {args.store} already holds a campaign; pass --resume to "
+                "continue it or point --store at a fresh directory"
+            )
+    return None
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.programs:
         program_names = [
@@ -246,16 +276,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         verify_replays=args.verify_replays,
         guard=_parse_guard(args),
     )
+    problem = _validate_campaign_persistence(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     use_engine = (
         args.parallel is not None
         or args.telemetry
         or args.checkpoint
+        or args.store
+        or args.durable
         or args.timeout is not None
+        or args.fault_hook
     )
     if use_engine:
-        from repro.harness.parallel import ParallelCampaign
+        from repro.harness.parallel import CampaignError, ParallelCampaign
+        from repro.harness.persist import TornLineError
         from repro.harness.reporting import throughput_summary
-        from repro.harness.telemetry import JsonlSink, MultiSink, TelemetryAggregator
+        from repro.harness.telemetry import (
+            JsonlSink,
+            MultiSink,
+            SinkLockedError,
+            TelemetryAggregator,
+        )
 
         if args.checkpoint and not args.resume:
             # Without --resume an existing checkpoint must not silently be
@@ -266,18 +309,45 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         aggregator = TelemetryAggregator()
         sinks = [aggregator]
         if args.telemetry:
-            sinks.append(JsonlSink(args.telemetry))
+            try:
+                sinks.append(JsonlSink(args.telemetry))
+            except SinkLockedError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         sink = MultiSink(sinks)
-        campaign = ParallelCampaign(
-            config,
-            processes=args.parallel,
-            cell_timeout=args.timeout,
-            max_retries=args.retries,
-            checkpoint=args.checkpoint,
-            telemetry=sink,
-        )
+        if args.durable:
+            from repro.harness.supervisor import SupervisedCampaign
+
+            campaign = SupervisedCampaign(
+                config,
+                processes=args.parallel,
+                cell_timeout=args.timeout,
+                max_retries=args.retries,
+                checkpoint=args.checkpoint,
+                telemetry=sink,
+                store=args.store,
+                heartbeat_seconds=args.heartbeat_seconds,
+                lease_seconds=args.lease_seconds,
+                fault_hook=args.fault_hook,
+            )
+        else:
+            campaign = ParallelCampaign(
+                config,
+                processes=args.parallel,
+                cell_timeout=args.timeout,
+                max_retries=args.retries,
+                checkpoint=args.checkpoint,
+                telemetry=sink,
+                store=args.store,
+                fault_hook=args.fault_hook,
+            )
         try:
+            from repro.harness.store import StoreError
+
             result = campaign.run(tool_names, program_names)
+        except (CampaignError, StoreError, TornLineError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         finally:
             sink.close()
         print(appendix_b_table(result))
@@ -558,6 +628,41 @@ def _cmd_eval_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Inspect, compact, or verify a durable corpus store."""
+    from repro.harness.persist import TornLineError
+    from repro.harness.reporting import store_summary
+    from repro.harness.store import CorpusStore, StoreError
+
+    try:
+        if args.store_command == "inspect":
+            with CorpusStore(args.path, readonly=True) as store:
+                print(store_summary(store.inspect()))
+            return 0
+        if args.store_command == "verify":
+            with CorpusStore(args.path, readonly=True) as store:
+                inspection = store.verify()
+            print(store_summary(inspection))
+            print("verify: ok")
+            return 0
+        with CorpusStore(args.path) as store:
+            stats = store.compact()
+        print(
+            f"compacted {args.path}: "
+            f"{stats['segments_before']} -> {stats['segments_after']} segment(s), "
+            f"{stats['records_before']} -> {stats['records_after']} record(s)"
+        )
+        if args.telemetry:
+            from repro.harness.telemetry import JsonlSink
+
+            with JsonlSink(args.telemetry) as sink:
+                sink.emit("store_compact", path=str(args.path), **stats)
+        return 0
+    except (StoreError, TornLineError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_figure5(args: argparse.Namespace) -> int:
     prog = bench.get(args.program)
     pos = rf_distribution_pos(prog, executions=args.executions, seed=args.seed)
@@ -635,6 +740,20 @@ def build_parser() -> argparse.ArgumentParser:
                             help="persist completed cells to FILE as the campaign runs")
     p_campaign.add_argument("--resume", action="store_true",
                             help="resume completed cells from an existing --checkpoint file")
+    p_campaign.add_argument("--store", metavar="DIR",
+                            help="durable corpus store directory: every completed cell is "
+                                 "recorded there crash-safely (continue with --resume, "
+                                 "examine with 'rff store')")
+    p_campaign.add_argument("--durable", action="store_true",
+                            help="supervised engine: heartbeat/lease worker supervision "
+                                 "with exponential-backoff reassignment (requires --store)")
+    p_campaign.add_argument("--heartbeat-seconds", type=float, default=0.5, metavar="S",
+                            help="supervised worker heartbeat interval (default 0.5)")
+    p_campaign.add_argument("--lease-seconds", type=float, default=10.0, metavar="S",
+                            help="kill and reassign a worker silent this long (default 10)")
+    p_campaign.add_argument("--fault-hook", metavar="MODULE:FUNC",
+                            help="chaos-testing hook called at the start of every cell "
+                                 "(e.g. repro.harness.faults:chaos_hook with RFF_CHAOS_PLAN set)")
     p_campaign.add_argument("--timeout", type=float, metavar="SECONDS",
                             help="kill and retry any cell exceeding this wall time")
     p_campaign.add_argument("--retries", type=int, default=2,
@@ -728,6 +847,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--telemetry", metavar="FILE",
                         help="write gen_corpus/gen_eval_end telemetry (JSONL) to FILE")
     p_eval.set_defaults(func=_cmd_eval_gen)
+
+    p_store = sub.add_parser("store", help="inspect/compact/verify a durable corpus store")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_inspect = store_sub.add_parser("inspect", help="summarize a store's contents and health")
+    p_inspect.add_argument("path")
+    p_inspect.set_defaults(func=_cmd_store)
+    p_compact = store_sub.add_parser(
+        "compact", help="rewrite the store as one deduplicated segment (atomic)"
+    )
+    p_compact.add_argument("path")
+    p_compact.add_argument("--telemetry", metavar="FILE",
+                           help="append a store_compact telemetry record (JSONL) to FILE")
+    p_compact.set_defaults(func=_cmd_store)
+    p_verify = store_sub.add_parser(
+        "verify", help="checksum-verify every record; nonzero exit on corruption"
+    )
+    p_verify.add_argument("path")
+    p_verify.set_defaults(func=_cmd_store)
 
     p_fig5 = sub.add_parser("figure5", help="rf-distribution histograms (RQ3)")
     p_fig5.add_argument("--program", default="SafeStack")

@@ -9,6 +9,8 @@ sized so a full campaign runs on one laptop core; everything scales through
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
 
 from repro.harness.stats import SummaryCell, summarize
 from repro.harness.tools import BugSearchResult, TestingTool
@@ -37,6 +39,30 @@ class CampaignConfig:
 
     def budget_for(self, program_name: str) -> int:
         return self.budget_overrides.get(program_name, self.budget)
+
+
+def campaign_header(
+    config: CampaignConfig, tool_names: list[str], program_names: list[str]
+) -> dict[str, Any]:
+    """The identity of one campaign: everything that determines its results.
+
+    Checkpoint files and corpus stores both stamp this header and refuse to
+    resume a campaign whose header differs — results computed under one
+    configuration must never be silently mixed with another's.  The
+    ``checkpoint_version`` key is the on-disk format version shared by both.
+    """
+    return {
+        "checkpoint_version": 1,
+        "base_seed": config.base_seed,
+        "budget": config.budget,
+        "budget_overrides": dict(sorted(config.budget_overrides.items())),
+        "trials": config.trials,
+        "tools": list(tool_names),
+        "programs": list(program_names),
+        "sanitizers": list(config.sanitizers),
+        "verify_replays": config.verify_replays,
+        "guard": (list(config.guard.as_tuple()) if config.guard is not None else None),
+    }
 
 
 @dataclass
@@ -113,33 +139,67 @@ class Campaign:
         tools: list[TestingTool],
         programs: list[Program],
         progress=None,
+        store=None,
     ) -> CampaignResult:
         """Execute the full cross product; ``progress`` is an optional
-        callback ``(tool_name, program_name, trial_index)``."""
-        outcome = CampaignResult(config=self.config)
-        for tool in tools:
-            if self.config.sanitizers:
-                tool.sanitizers = tuple(self.config.sanitizers)
-            if self.config.verify_replays:
-                tool.verify_replays = self.config.verify_replays
-            if self.config.guard is not None:
-                tool.guard = self.config.guard
-            trials = 1 if tool.deterministic else self.config.trials
-            for program in programs:
-                budget = self.config.budget_for(program.name)
-                results = []
-                for trial in range(trials):
-                    if progress is not None:
-                        progress(tool.name, program.name, trial)
-                    seed = self.config.base_seed + 7919 * trial
-                    result = tool.find_bug(program, budget, seed)
-                    # Tools record the seed in the trial field by default;
-                    # stamp the trial index so serial, parallel and resumed
-                    # campaigns produce bit-identical results.
-                    results.append(replace(result, trial=trial))
-                if tool.deterministic and self.config.trials > 1:
-                    # Replicate the single deterministic result so per-trial
-                    # aggregates stay comparable across tools.
-                    results = results * self.config.trials
-                outcome.results[(tool.name, program.name)] = results
-        return outcome
+        callback ``(tool_name, program_name, trial_index)``.
+
+        With ``store`` set (a :class:`~repro.harness.store.CorpusStore` or a
+        path opened as one), every cell result is recorded durably as it
+        completes and cells already in the store are skipped — so a killed
+        serial campaign resumes through the same ledger parallel ones use.
+        """
+        owned = False
+        if isinstance(store, (str, Path)):
+            # Lazy import: the store depends on persist, which imports tools
+            # from this package; campaign stays import-light.
+            from repro.harness.store import CorpusStore
+
+            store = CorpusStore(store)
+            owned = True
+        try:
+            done: dict[tuple[str, str, int], BugSearchResult] = {}
+            if store is not None:
+                store.begin_campaign(
+                    campaign_header(
+                        self.config, [t.name for t in tools], [p.name for p in programs]
+                    )
+                )
+                done = store.completed()
+            outcome = CampaignResult(config=self.config)
+            for tool in tools:
+                if self.config.sanitizers:
+                    tool.sanitizers = tuple(self.config.sanitizers)
+                if self.config.verify_replays:
+                    tool.verify_replays = self.config.verify_replays
+                if self.config.guard is not None:
+                    tool.guard = self.config.guard
+                trials = 1 if tool.deterministic else self.config.trials
+                for program in programs:
+                    budget = self.config.budget_for(program.name)
+                    results = []
+                    for trial in range(trials):
+                        key = (tool.name, program.name, trial)
+                        if key in done:
+                            results.append(done[key])
+                            continue
+                        if progress is not None:
+                            progress(tool.name, program.name, trial)
+                        seed = self.config.base_seed + 7919 * trial
+                        result = tool.find_bug(program, budget, seed)
+                        # Tools record the seed in the trial field by default;
+                        # stamp the trial index so serial, parallel and resumed
+                        # campaigns produce bit-identical results.
+                        result = replace(result, trial=trial)
+                        if store is not None:
+                            store.record_result(result)
+                        results.append(result)
+                    if tool.deterministic and self.config.trials > 1:
+                        # Replicate the single deterministic result so per-trial
+                        # aggregates stay comparable across tools.
+                        results = results * self.config.trials
+                    outcome.results[(tool.name, program.name)] = results
+            return outcome
+        finally:
+            if owned:
+                store.close()

@@ -46,7 +46,7 @@ from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.harness.campaign import CampaignConfig, CampaignResult
+from repro.harness.campaign import CampaignConfig, CampaignResult, campaign_header
 from repro.harness.persist import append_jsonl, read_jsonl, result_from_dict, result_to_dict
 from repro.harness.telemetry import GLOBAL_COUNTERS, TelemetrySink
 from repro.harness.tools import BugSearchResult, TestingTool
@@ -269,6 +269,9 @@ class ParallelCampaign:
     start_method: str | None = None
     #: Importable fault-injection hook propagated into every cell spec.
     fault_hook: str | None = None
+    #: Durable corpus store (CorpusStore instance or path); completed cells
+    #: are recorded there and resumed from it, alongside any checkpoint.
+    store: Any = None
 
     # -- public API -----------------------------------------------------
     def run(self, tool_names: list[str], program_names: list[str]) -> CampaignResult:
@@ -277,36 +280,61 @@ class ParallelCampaign:
         sink = self.telemetry
         specs, deterministic = self._build_specs(tool_names, program_names)
         self._total_cells = len(specs)
-        completed = self._load_checkpoint(specs, tool_names, program_names)
-        pending = [spec for spec in specs if spec.key not in completed]
-        start = time.perf_counter()
-        sink.emit(
-            "campaign_start",
-            tools=list(tool_names),
-            programs=list(program_names),
-            trials=self.config.trials,
-            total_cells=len(specs),
-            resumed_cells=len(completed),
-            processes=self._process_count(),
-        )
-        stats = {"retries": 0, "failed": 0, "executions": 0}
-        recorder = self._make_recorder(completed, stats, sink)
-        if self._process_count() == 0:
-            for spec in pending:
-                self._run_serial_cell(spec, 1, recorder, stats, sink)
-        else:
-            self._execute_parallel(pending, recorder, stats, sink)
-        wall_time = time.perf_counter() - start
-        sink.emit(
-            "campaign_end",
-            wall_time=wall_time,
-            cells=len(completed),
-            failed_cells=stats["failed"],
-            retries=stats["retries"],
-            executions=stats["executions"],
-            schedules_per_sec=stats["executions"] / wall_time if wall_time > 0 else 0.0,
-        )
-        return self._assemble(tool_names, program_names, deterministic, completed)
+        store, store_owned = self._open_store()
+        try:
+            if store is not None:
+                store.begin_campaign(self._checkpoint_header(tool_names, program_names))
+            completed = self._load_checkpoint(specs, tool_names, program_names)
+            if store is not None:
+                # Checkpoint records win (they went through the same recorder);
+                # the store fills in cells the checkpoint missed — e.g. a crash
+                # between the store append and the checkpoint append.
+                valid_keys = {spec.key for spec in specs}
+                for key, result in store.completed().items():
+                    if key in valid_keys and key not in completed:
+                        completed[key] = result
+            pending = [spec for spec in specs if spec.key not in completed]
+            start = time.perf_counter()
+            sink.emit(
+                "campaign_start",
+                tools=list(tool_names),
+                programs=list(program_names),
+                trials=self.config.trials,
+                total_cells=len(specs),
+                resumed_cells=len(completed),
+                processes=self._process_count(),
+            )
+            stats = {"retries": 0, "failed": 0, "executions": 0}
+            recorder = self._make_recorder(completed, stats, sink, store)
+            if self._process_count() == 0:
+                for spec in pending:
+                    self._run_serial_cell(spec, 1, recorder, stats, sink)
+            else:
+                self._execute_parallel(pending, recorder, stats, sink)
+            wall_time = time.perf_counter() - start
+            sink.emit(
+                "campaign_end",
+                wall_time=wall_time,
+                cells=len(completed),
+                failed_cells=stats["failed"],
+                retries=stats["retries"],
+                executions=stats["executions"],
+                schedules_per_sec=stats["executions"] / wall_time if wall_time > 0 else 0.0,
+            )
+            return self._assemble(tool_names, program_names, deterministic, completed)
+        finally:
+            if store_owned:
+                store.close()
+
+    def _open_store(self):
+        """Resolve the ``store`` field to (CorpusStore | None, owned)."""
+        if self.store is None:
+            return None, False
+        if isinstance(self.store, (str, Path)):
+            from repro.harness.store import CorpusStore
+
+            return CorpusStore(self.store), True
+        return self.store, False
 
     # -- cell spec construction ----------------------------------------
     def _build_specs(
@@ -353,20 +381,7 @@ class ParallelCampaign:
 
     # -- checkpointing --------------------------------------------------
     def _checkpoint_header(self, tool_names: list[str], program_names: list[str]) -> dict[str, Any]:
-        return {
-            "checkpoint_version": CHECKPOINT_VERSION,
-            "base_seed": self.config.base_seed,
-            "budget": self.config.budget,
-            "budget_overrides": dict(sorted(self.config.budget_overrides.items())),
-            "trials": self.config.trials,
-            "tools": list(tool_names),
-            "programs": list(program_names),
-            "sanitizers": list(self.config.sanitizers),
-            "verify_replays": self.config.verify_replays,
-            "guard": (
-                list(self.config.guard.as_tuple()) if self.config.guard is not None else None
-            ),
-        }
+        return campaign_header(self.config, tool_names, program_names)
 
     def _load_checkpoint(
         self, specs: list[CellSpec], tool_names: list[str], program_names: list[str]
@@ -399,11 +414,16 @@ class ParallelCampaign:
         completed: dict[tuple[str, str, int], BugSearchResult],
         stats: dict[str, int],
         sink: TelemetrySink,
+        store=None,
     ) -> Callable[[CellSpec, int, CellOutcome | None, BugSearchResult], None]:
         def record(
             spec: CellSpec, attempt: int, outcome: CellOutcome | None, result: BugSearchResult
         ) -> None:
             completed[spec.key] = result
+            if store is not None:
+                # Durable ledger first: if we die between the two appends, the
+                # checkpoint is behind the store and resume takes the union.
+                store.record_result(result)
             if outcome is not None:
                 stats["executions"] += outcome.result.executions
                 # The executor-level counter delta also counts executions;
@@ -502,6 +522,11 @@ class ParallelCampaign:
         recorder(spec, attempt, outcome, outcome.result)
 
     # -- parallel execution --------------------------------------------
+    def _worker_invocation(self, child_conn, spec: CellSpec) -> tuple[Callable, tuple]:
+        """The (target, args) a worker process runs — subclass hook (the
+        supervised engine swaps in a heartbeat-emitting entrypoint)."""
+        return _worker_main, (child_conn, spec)
+
     def _launch(self, context, spec: CellSpec, attempt: int, sink: TelemetrySink) -> _Worker | None:
         """Start one worker process; None when the pool is dead (degrade)."""
         sink.emit(
@@ -509,7 +534,8 @@ class ParallelCampaign:
         )
         try:
             parent_conn, child_conn = context.Pipe(duplex=False)
-            proc = context.Process(target=_worker_main, args=(child_conn, spec), daemon=True)
+            target, args = self._worker_invocation(child_conn, spec)
+            proc = context.Process(target=target, args=args, daemon=True)
             proc.start()
         except OSError:
             return None

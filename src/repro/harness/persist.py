@@ -287,6 +287,36 @@ def read_jsonl(path: str | Path, tolerate_torn_tail: bool = True) -> list[dict[s
     return records
 
 
+def recover_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Read a JSONL file and *repair* its torn tail in place.
+
+    :func:`read_jsonl` merely tolerates the single torn trailing line a
+    killed writer can leave; a writer that wants to *keep appending* to the
+    file must also remove it, or the next append would glue new records onto
+    the partial line and manufacture a mid-file tear.  This reads the valid
+    prefix (via :func:`read_jsonl`, so a torn line anywhere before the tail
+    still raises :class:`TornLineError`) and truncates the file back to that
+    prefix.  Returns ``(records, truncated_bytes)``."""
+    target = Path(path)
+    if not target.exists():
+        return [], 0
+    records = read_jsonl(target, tolerate_torn_tail=True)
+    raw = target.read_bytes()
+    offset = 0
+    parsed = 0
+    for line in raw.splitlines(keepends=True):
+        if line.strip():
+            if parsed == len(records):
+                break
+            parsed += 1
+        offset += len(line)
+    truncated = len(raw) - offset
+    if truncated:
+        with target.open("rb+") as handle:
+            handle.truncate(offset)
+    return records, truncated
+
+
 # ----------------------------------------------------------------------
 # Checksummed payloads (standalone repro artifacts)
 # ----------------------------------------------------------------------

@@ -174,6 +174,11 @@ def throughput_summary(aggregator, slowest: int = 3) -> str:
         f"  wall time:        {summary['wall_time']:.2f}s",
         f"  worker restarts:  {summary['worker_restarts']}",
     ]
+    if getattr(aggregator, "lease_reassignments", 0):
+        lines.append(
+            f"  lease reassigns:  {aggregator.lease_reassignments} "
+            f"({aggregator.heartbeats} heartbeats observed)"
+        )
     if summary.get("sanitizer_reports"):
         by_name = aggregator.sanitizer_reports_by_name()
         breakdown = ", ".join(f"{name}: {count}" for name, count in sorted(by_name.items()))
@@ -185,6 +190,38 @@ def throughput_summary(aggregator, slowest: int = 3) -> str:
             for (tool, program, trial), wall in slow
         )
         lines.append(f"  slowest cells:    {cells}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Durable store health
+# ----------------------------------------------------------------------
+def store_summary(inspection) -> str:
+    """Render a :class:`~repro.harness.store.StoreInspection` as plain text
+    (the ``rff store inspect`` output)."""
+    lines = [
+        f"Corpus store {inspection.path}",
+        f"  segments:         {inspection.segments} "
+        f"({inspection.compactions} compaction(s))",
+        f"  records:          {inspection.records} "
+        f"({inspection.corrupt_records} corrupt, skipped)",
+        f"  cells:            {inspection.cells} completed",
+        f"  bugs:             {inspection.bugs} admitted",
+    ]
+    if inspection.recovered_bytes:
+        lines.append(
+            f"  torn tail:        {inspection.recovered_bytes} byte(s) "
+            f"truncated on open"
+        )
+    header = inspection.header
+    if header:
+        lines.append(
+            f"  campaign:         {len(header.get('tools', []))} tool(s) x "
+            f"{len(header.get('programs', []))} program(s) x "
+            f"{header.get('trials')} trial(s), base seed {header.get('base_seed')}"
+        )
+    else:
+        lines.append("  campaign:         (none bound yet)")
     return "\n".join(lines)
 
 

@@ -30,6 +30,11 @@ from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Iterable
 
+try:  # pragma: no cover - fcntl is present on every POSIX CI target
+    import fcntl
+except ImportError:  # pragma: no cover - windows fallback: no advisory locks
+    fcntl = None  # type: ignore[assignment]
+
 #: Bumped whenever a record type gains/loses required fields.
 SCHEMA_VERSION = 1
 
@@ -132,6 +137,12 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "gen_eval_end": frozenset(
         {"tools", "programs", "trials", "budget", "detected", "fn_rates"}
     ),
+    # Supervised campaign fabric (repro.harness.supervisor / .store).
+    "heartbeat": frozenset({"pid", "tool", "program", "trial", "seq"}),
+    "lease_reassign": frozenset({"tool", "program", "trial", "attempt", "kind", "delay"}),
+    "store_compact": frozenset(
+        {"path", "segments_before", "segments_after", "records_before", "records_after"}
+    ),
 }
 
 
@@ -184,15 +195,35 @@ class TelemetrySink:
         self.close()
 
 
+class SinkLockedError(RuntimeError):
+    """Another process is writing the same telemetry path — two campaigns
+    interleaving appends would tear each other's records."""
+
+
 class JsonlSink(TelemetrySink):
     """Appends one JSON object per record; flushed per line so a killed
-    campaign still leaves every completed record on disk."""
+    campaign still leaves every completed record on disk.
+
+    The sink holds an exclusive advisory ``flock`` on the file for its
+    lifetime: a second campaign pointed at the same path fails fast with
+    :class:`SinkLockedError` instead of silently interleaving records.
+    Sequential reopen (close, then open again) is unaffected.
+    """
 
     def __init__(self, path: str | Path, clock=time.time):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self._handle = self.path.open("a", encoding="utf-8")
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self._handle.close()
+                raise SinkLockedError(
+                    f"{self.path}: another campaign is already writing this "
+                    f"telemetry/checkpoint file; point each campaign at its own path"
+                ) from None
 
     def emit(self, event: str, **fields: Any) -> None:
         record = {"event": event, "ts": self._clock(), "schema": SCHEMA_VERSION, **fields}
@@ -237,6 +268,16 @@ class TelemetryAggregator(TelemetrySink):
     def worker_restarts(self) -> int:
         """Worker exits that were not clean completions."""
         return sum(1 for r in self.of_type("worker_exit") if r["kind"] != "ok")
+
+    @property
+    def heartbeats(self) -> int:
+        """Heartbeat messages received from supervised workers."""
+        return len(self.of_type("heartbeat"))
+
+    @property
+    def lease_reassignments(self) -> int:
+        """Cells reassigned after a worker crash, hang, or lost lease."""
+        return len(self.of_type("lease_reassign"))
 
     @property
     def total_executions(self) -> int:

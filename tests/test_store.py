@@ -1,0 +1,202 @@
+"""Crash-safe corpus store: WAL segments, checksums, compaction, locking.
+
+The acceptance bar: a campaign can be SIGKILLed at any instant and resume
+through the store bit-identically — so every durability mechanism (torn-tail
+repair, checksum-verified reads, atomic compaction, fsync barriers, advisory
+locks) gets pinned here in isolation before the chaos suite composes them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.persist import recover_jsonl
+from repro.harness.store import (
+    MANIFEST_NAME,
+    CorpusStore,
+    StoreError,
+    StoreLockedError,
+    StoreMismatchError,
+)
+from repro.harness.tools import BugSearchResult
+
+
+def result(tool="RFF", program="CS/account", trial=0, found=True, **kw):
+    return BugSearchResult(
+        tool=tool,
+        program=program,
+        trial=trial,
+        found=found,
+        schedules_to_bug=7 if found else None,
+        executions=42,
+        outcome="assert" if found else None,
+        **kw,
+    )
+
+
+class TestRoundTrip:
+    def test_record_and_reopen(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.begin_campaign({"campaign": 1})
+            store.record_result(result(trial=0))
+            store.record_result(result(trial=1, found=False))
+        with CorpusStore(tmp_path / "store") as reopened:
+            completed = reopened.completed()
+        assert set(completed) == {("RFF", "CS/account", 0), ("RFF", "CS/account", 1)}
+        assert completed[("RFF", "CS/account", 0)] == result(trial=0)
+        assert completed[("RFF", "CS/account", 1)] == result(trial=1, found=False)
+
+    def test_first_record_wins_dedup(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.record_result(result(found=True))
+            store.record_result(result(found=False))  # duplicate key
+            assert store.completed()[("RFF", "CS/account", 0)].found
+
+    def test_readonly_refuses_writes(self, tmp_path):
+        CorpusStore(tmp_path / "store").close()
+        with CorpusStore(tmp_path / "store", readonly=True) as store:
+            with pytest.raises(StoreError, match="readonly"):
+                store.record_result(result())
+
+    def test_readonly_requires_existing_store(self, tmp_path):
+        with pytest.raises(StoreError, match="not a corpus store"):
+            CorpusStore(tmp_path / "nope", readonly=True)
+
+
+class TestHeader:
+    def test_header_stamped_once_and_validated(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.begin_campaign({"trials": 2})
+        with CorpusStore(tmp_path / "store") as store:
+            store.begin_campaign({"trials": 2})  # identical resume: fine
+            with pytest.raises(StoreMismatchError, match="different campaign"):
+                store.begin_campaign({"trials": 3})
+
+
+class TestTornTailRecovery:
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.record_result(result(trial=0))
+            segment = store.segments[-1]
+        clean_size = segment.stat().st_size
+        torn = '{"type": "cell", "resu'
+        with segment.open("a") as handle:
+            handle.write(torn)  # the torn half-line
+        with CorpusStore(tmp_path / "store") as store:
+            assert store.recovered_bytes == len(torn)
+            assert segment.stat().st_size == clean_size
+            assert set(store.completed()) == {("RFF", "CS/account", 0)}
+            # Appends after repair extend the valid prefix, not the tear.
+            store.record_result(result(trial=1))
+            assert len(store.completed()) == 2
+
+    def test_recover_jsonl_reports_truncation(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"torn')
+        records, truncated = recover_jsonl(path)
+        assert records == [{"a": 1}, {"b": 2}]
+        assert truncated == len('{"torn')
+        assert path.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+    def test_recover_jsonl_missing_and_clean_files(self, tmp_path):
+        assert recover_jsonl(tmp_path / "absent.jsonl") == ([], 0)
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"a": 1}\n')
+        assert recover_jsonl(path) == ([{"a": 1}], 0)
+
+
+class TestChecksums:
+    def test_corrupt_record_skipped_not_fatal(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.record_result(result(trial=0))
+            store.record_result(result(trial=1))
+            segment = store.segments[-1]
+        lines = segment.read_text().splitlines()
+        lines[0] = lines[0].replace('"found": true', '"found": false')  # bit-rot
+        segment.write_text("\n".join(lines) + "\n")
+        with CorpusStore(tmp_path / "store") as store:
+            inspection = store.inspect()
+            assert inspection.corrupt_records == 1
+            # The corrupt cell simply looks incomplete: it re-runs on resume.
+            assert set(store.completed()) == {("RFF", "CS/account", 1)}
+            with pytest.raises(StoreError, match="checksum"):
+                store.verify()
+
+    def test_bug_admission_fsyncs(self, tmp_path, monkeypatch):
+        fsyncs = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd)))
+        with CorpusStore(tmp_path / "store") as store:
+            baseline = len(fsyncs)
+            store.record_result(result(found=False))
+            assert len(fsyncs) == baseline  # flushed, not fsynced
+            store.record_result(result(trial=1, found=True))
+            assert len(fsyncs) == baseline + 1  # the bug-admission barrier
+
+
+class TestSegmentsAndCompaction:
+    def test_segment_roll(self, tmp_path):
+        with CorpusStore(tmp_path / "store", segment_max_records=2) as store:
+            for trial in range(5):
+                store.record_result(result(trial=trial))
+            assert len(store.segments) == 3
+            assert len(store.completed()) == 5
+        with CorpusStore(tmp_path / "store", segment_max_records=2) as store:
+            assert len(store.completed()) == 5
+
+    def test_compaction_dedups_and_drops_segments(self, tmp_path):
+        with CorpusStore(tmp_path / "store", segment_max_records=2) as store:
+            for trial in range(4):
+                store.record_result(result(trial=trial))
+            store.record_result(result(trial=0, found=False))  # late duplicate
+            stats = store.compact()
+            assert stats == {
+                "segments_before": 3,
+                "segments_after": 1,
+                "records_before": 5,
+                "records_after": 4,
+            }
+            assert store.completed()[("RFF", "CS/account", 0)].found  # first won
+            assert len(store.completed()) == 4
+            store.record_result(result(trial=9))  # still appendable after
+        with CorpusStore(tmp_path / "store") as store:
+            assert len(store.completed()) == 5
+            assert store.inspect().compactions == 1
+
+    def test_orphan_segments_swept(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.record_result(result())
+        # Garbage from a hypothetical interrupted compaction.
+        (tmp_path / "store" / "segment-000099.jsonl").write_text('{"junk": 1}\n')
+        (tmp_path / "store" / "segment-000100.jsonl.tmp").write_text("partial")
+        with CorpusStore(tmp_path / "store") as store:
+            assert len(store.completed()) == 1
+        assert not (tmp_path / "store" / "segment-000099.jsonl").exists()
+        assert not (tmp_path / "store" / "segment-000100.jsonl.tmp").exists()
+
+    def test_manifest_is_authoritative(self, tmp_path):
+        with CorpusStore(tmp_path / "store") as store:
+            store.record_result(result())
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
+        assert manifest["store_version"] == 1
+        assert manifest["segments"] == ["segment-000000.jsonl"]
+
+
+class TestLocking:
+    def test_second_writer_fails_fast(self, tmp_path):
+        with CorpusStore(tmp_path / "store"):
+            with pytest.raises(StoreLockedError, match="another campaign"):
+                CorpusStore(tmp_path / "store")
+
+    def test_reader_excluded_while_writer_active(self, tmp_path):
+        with CorpusStore(tmp_path / "store"):
+            with pytest.raises(StoreLockedError):
+                CorpusStore(tmp_path / "store", readonly=True)
+
+    def test_sequential_reuse_is_fine(self, tmp_path):
+        CorpusStore(tmp_path / "store").close()
+        CorpusStore(tmp_path / "store").close()
+        CorpusStore(tmp_path / "store", readonly=True).close()

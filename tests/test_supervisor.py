@@ -1,0 +1,144 @@
+"""Supervised campaign engine: heartbeats, leases, backoff, triage.
+
+The supervisor's contract extends the parallel engine's: worker liveness is
+now judged by heartbeats against a lease, wedged workers are killed and
+their cells reassigned with exponential backoff — and none of it may change
+results.  Every scenario here ends in full dataclass equality with the
+serial ``Campaign``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.harness import faults
+from repro.harness.campaign import Campaign, CampaignConfig
+from repro.harness.supervisor import SupervisedCampaign
+from repro.harness.telemetry import TelemetryAggregator
+from repro.harness.tools import PeriodTool, RffTool, pos_tool
+
+TOOLS = ["RFF", "POS", "PERIOD"]
+PROGRAMS = ["CS/account", "Splash2/lu"]
+CONFIG = CampaignConfig(trials=2, budget=120, base_seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return Campaign(CONFIG).run(
+        [RffTool(), pos_tool(), PeriodTool()], [bench.get(p) for p in PROGRAMS]
+    )
+
+
+@pytest.fixture
+def fault_env(tmp_path, monkeypatch):
+    """Arm the crash_once hook against one cell; returns the re-arm helper."""
+
+    def arm(tool: str, program: str, trial: int, mode: str = "crash", state: str = "fired"):
+        monkeypatch.setenv(faults.ENV_TARGET, faults.cell_key(tool, program, trial))
+        monkeypatch.setenv(faults.ENV_STATE, str(tmp_path / state))
+        monkeypatch.setenv(faults.ENV_MODE, mode)
+        monkeypatch.setenv(faults.ENV_HANG_SECONDS, "3600")
+
+    return arm
+
+
+class TestDeterminism:
+    def test_supervised_bit_identical_to_serial(self, serial):
+        supervised = SupervisedCampaign(CONFIG, processes=2).run(TOOLS, PROGRAMS)
+        assert supervised == serial
+
+    def test_serial_engine_mode_bit_identical(self, serial):
+        assert SupervisedCampaign(CONFIG, processes=0).run(TOOLS, PROGRAMS) == serial
+
+    def test_heartbeats_observed_from_slowed_workers(self, serial, tmp_path, monkeypatch):
+        # A 100%-skew chaos plan makes every worker sleep 0.3s mid-cell, so a
+        # 0.05s heartbeat interval must land several beats per cell.
+        plan = faults.ChaosPlan(seed=1, skew=1.0, skew_seconds=0.3)
+        for key, value in plan.to_env(tmp_path).items():
+            monkeypatch.setenv(key, value)
+        aggregator = TelemetryAggregator()
+        supervised = SupervisedCampaign(
+            CONFIG,
+            processes=2,
+            telemetry=aggregator,
+            heartbeat_seconds=0.05,
+            fault_hook=faults.CHAOS_HOOK_REF,
+        ).run(TOOLS, PROGRAMS)
+        assert supervised == serial
+        assert aggregator.heartbeats > 0
+        assert aggregator.lease_reassignments == 0  # skew is benign
+
+
+class TestLeases:
+    def test_hung_worker_loses_lease_and_cell_is_reassigned(self, serial, fault_env):
+        fault_env("RFF", "CS/account", 1, mode="hang")
+        aggregator = TelemetryAggregator()
+        supervised = SupervisedCampaign(
+            CONFIG,
+            processes=2,
+            telemetry=aggregator,
+            heartbeat_seconds=0.05,
+            lease_seconds=0.5,
+            backoff_base=0.01,
+            fault_hook=faults.CRASH_ONCE_REF,
+        ).run(TOOLS, PROGRAMS)
+        assert supervised == serial
+        assert aggregator.lease_reassignments == 1
+        lease_exits = [
+            r for r in aggregator.of_type("worker_exit") if r["kind"] == "lease"
+        ]
+        assert len(lease_exits) == 1
+        reassign = aggregator.of_type("lease_reassign")[0]
+        assert (reassign["tool"], reassign["program"], reassign["trial"]) == (
+            "RFF",
+            "CS/account",
+            1,
+        )
+        assert reassign["kind"] == "lease"
+        assert reassign["delay"] == pytest.approx(0.01)
+
+    def test_crashed_worker_reassigned_with_backoff(self, serial, fault_env):
+        fault_env("POS", "Splash2/lu", 0, mode="crash")
+        aggregator = TelemetryAggregator()
+        supervised = SupervisedCampaign(
+            CONFIG,
+            processes=2,
+            telemetry=aggregator,
+            backoff_base=0.01,
+            fault_hook=faults.CRASH_ONCE_REF,
+        ).run(TOOLS, PROGRAMS)
+        assert supervised == serial
+        assert aggregator.lease_reassignments == 1
+        assert aggregator.retries == 1
+        crash_exits = [
+            r for r in aggregator.of_type("worker_exit") if r["kind"] == "crash"
+        ]
+        assert crash_exits[0]["exitcode"] == faults.CRASH_EXIT_CODE
+
+
+class TestTriage:
+    def test_deterministic_crasher_classified(self, fault_env, monkeypatch):
+        monkeypatch.setenv(faults.ENV_TARGET, faults.cell_key("RFF", "CS/account", 0))
+        aggregator = TelemetryAggregator()
+        result = SupervisedCampaign(
+            CampaignConfig(trials=1, budget=60, base_seed=7),
+            processes=2,
+            max_retries=2,
+            backoff_base=0.01,
+            telemetry=aggregator,
+            fault_hook=faults.CRASH_ALWAYS_REF,
+        ).run(["RFF"], ["CS/account"])
+        (cell,) = result.results[("RFF", "CS/account")]
+        assert cell.error is not None
+        assert "deterministic crasher" in cell.error
+        assert aggregator.retries == 2  # the full retry budget burned
+        error = aggregator.of_type("cell_error")[0]
+        assert "deterministic crasher" in error["detail"]
+
+    def test_mixed_failure_kinds_classified_flaky(self):
+        engine = SupervisedCampaign(CONFIG)
+        engine._failure_kinds = {("T", "P", 0): ["crash", "lease", "crash"]}
+        assert "flaky environment" in engine._classify(("T", "P", 0))
+        engine._failure_kinds = {("T", "P", 0): ["crash", "crash", "crash"]}
+        assert "deterministic crasher" in engine._classify(("T", "P", 0))

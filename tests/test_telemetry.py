@@ -23,6 +23,7 @@ from repro.harness.telemetry import (
     Counters,
     JsonlSink,
     MultiSink,
+    SinkLockedError,
     TelemetryAggregator,
     TelemetrySink,
     validate_jsonl,
@@ -114,6 +115,28 @@ class TestValidateRecord:
     def test_extra_fields_allowed(self):
         validate_record(self._record(extra="fine"))
 
+    @pytest.mark.parametrize(
+        ("event", "payload"),
+        [
+            ("heartbeat", {"pid": 7, "tool": "RFF", "program": "CS/account", "trial": 0, "seq": 3}),
+            (
+                "lease_reassign",
+                {"tool": "RFF", "program": "CS/account", "trial": 0, "attempt": 1, "kind": "lease", "delay": 0.1},
+            ),
+            (
+                "store_compact",
+                {"path": "/tmp/store", "segments_before": 3, "segments_after": 1, "records_before": 5, "records_after": 4},
+            ),
+        ],
+    )
+    def test_accepts_supervisor_and_store_events(self, event, payload):
+        validate_record({"event": event, "ts": 1.0, "schema": 1, **payload})
+
+    @pytest.mark.parametrize("event", ["heartbeat", "lease_reassign", "store_compact"])
+    def test_rejects_bare_supervisor_and_store_events(self, event):
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_record({"event": event, "ts": 1.0, "schema": 1})
+
     def test_schema_covers_all_engine_events(self):
         assert set(EVENT_SCHEMA) == {
             "campaign_start",
@@ -129,6 +152,9 @@ class TestValidateRecord:
             "campaign_end",
             "gen_corpus",
             "gen_eval_end",
+            "heartbeat",
+            "lease_reassign",
+            "store_compact",
         }
 
 
@@ -208,6 +234,14 @@ class TestSinks:
         with JsonlSink(tmp_path / "events.jsonl") as sink:
             with pytest.raises(ValueError):
                 sink.emit("no_such_event")
+
+    def test_jsonl_sink_double_open_fails_fast(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path):
+            with pytest.raises(SinkLockedError, match="another campaign"):
+                JsonlSink(path)
+        # Released on close: a later campaign may append.
+        JsonlSink(path).close()
 
     def test_validate_jsonl_rejects_corrupt_line(self, tmp_path):
         path = tmp_path / "bad.jsonl"
