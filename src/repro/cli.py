@@ -228,11 +228,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _validate_campaign_persistence(args: argparse.Namespace) -> str | None:
+def _validate_campaign_persistence(args: argparse.Namespace, allocator=None) -> str | None:
     """Catch misconfigured --resume/--store/--durable combinations early,
     with diagnostics instead of tracebacks deep inside the engine."""
     import pathlib
 
+    if args.resume and args.store:
+        manifest = pathlib.Path(args.store) / "MANIFEST.json"
+        if manifest.exists():
+            import json
+
+            header = json.loads(manifest.read_text(encoding="utf-8")).get("header") or {}
+            stored = header.get("allocator")
+            requested = allocator.identity() if allocator is not None else None
+            if stored != requested:
+                stored_name = stored.get("name") if stored else "uniform"
+                requested_name = requested.get("name") if requested else "uniform"
+                return (
+                    f"store {args.store} was written under allocator "
+                    f"{stored_name!r} ({stored or 'no header stamp'}); refusing "
+                    f"to resume it under {requested_name!r} — pass matching "
+                    "--allocator options or point --store at a fresh directory"
+                )
     if args.durable and not args.store:
         return "--durable requires --store DIR (the durable ledger campaigns write through)"
     if args.resume and not args.checkpoint and not args.store:
@@ -268,6 +285,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         program_names = bench.py_names() if args.substrate == "py" else bench.names()
     tool_names = list(args.tools) if args.tools else [t.name for t in paper_tools()]
     sanitizers = _parse_sanitizers(args.sanitize)
+    allocator = None
+    if args.allocator:
+        from repro.harness.allocator import make_allocator
+
+        allocator = make_allocator(
+            args.allocator,
+            rounds=args.alloc_rounds,
+            min_cell_budget=args.min_cell_budget,
+        )
     config = CampaignConfig(
         trials=args.trials,
         budget=args.budget,
@@ -275,8 +301,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         sanitizers=sanitizers,
         verify_replays=args.verify_replays,
         guard=_parse_guard(args),
+        allocator=allocator,
     )
-    problem = _validate_campaign_persistence(args)
+    problem = _validate_campaign_persistence(args, allocator)
     if problem is not None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
@@ -355,6 +382,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(figure4_ascii(result))
         print()
         print(throughput_summary(aggregator))
+        if result.allocation is not None:
+            from repro.harness.reporting import allocation_summary
+
+            print()
+            print(allocation_summary(result))
         if sanitizers:
             from repro.harness.reporting import sanitizer_summary
 
@@ -377,6 +409,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(appendix_b_table(result))
     print()
     print(figure4_ascii(result))
+    if result.allocation is not None:
+        from repro.harness.reporting import allocation_summary
+
+        print()
+        print(allocation_summary(result))
     if sanitizers:
         from repro.harness.reporting import sanitizer_summary
 
@@ -761,6 +798,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--sanitize", metavar="LIST",
                             help="attach online sanitizers to every tool: comma-separated "
                                  "subset of race,lockset,lockorder (or 'all')")
+    p_campaign.add_argument("--allocator", choices=("uniform", "laplace", "novelty"),
+                            help="budget allocator: uniform reproduces the classic "
+                                 "per-cell split bit-for-bit; laplace/novelty re-plan "
+                                 "schedule budgets across cells in seeded rounds")
+    p_campaign.add_argument("--alloc-rounds", type=int, default=None, metavar="R",
+                            help="allocation rounds for adaptive allocators (default 4)")
+    p_campaign.add_argument("--min-cell-budget", type=int, default=None, metavar="N",
+                            help="per-round schedule floor for every live cell "
+                                 "(starvation freedom; default 1)")
     p_campaign.add_argument("--verify-replays", type=int, default=0, metavar="N",
                             help="replay every found bug N times; FLAKY bugs are "
                                  "quarantined in the reproduction ledger")

@@ -277,6 +277,8 @@ class ParallelCampaign:
     def run(self, tool_names: list[str], program_names: list[str]) -> CampaignResult:
         """Run all campaign cells; the result is bit-identical to serial runs."""
         _register_default_factories()
+        if self.config.allocator is not None:
+            return self._run_allocated(tool_names, program_names)
         sink = self.telemetry
         specs, deterministic = self._build_specs(tool_names, program_names)
         self._total_cells = len(specs)
@@ -335,6 +337,191 @@ class ParallelCampaign:
 
             return CorpusStore(self.store), True
         return self.store, False
+
+    # -- allocated (round-based) execution ------------------------------
+    def _run_allocated(self, tool_names: list[str], program_names: list[str]) -> CampaignResult:
+        """The round-based path: identical plans and slice seeds to the
+        serial engine (both drive ``AllocationRun``), with each round's
+        missing slices dispatched through the normal worker machinery —
+        so crash isolation, retries, timeouts, supervision and degraded
+        fallback all apply per slice."""
+        from repro.harness.allocator import AllocationRun, slice_seed
+
+        sink = self.telemetry
+        allocator = self.config.allocator
+        cells, deterministic, refs = self._build_cells(tool_names, program_names)
+        self._total_cells = len(cells)
+        store, store_owned = self._open_store()
+        try:
+            header = self._checkpoint_header(tool_names, program_names)
+            valid_keys = {cell.key for cell in cells}
+            done_cells, done_slices = self._load_allocated_checkpoint(header, valid_keys)
+            if store is not None:
+                store.begin_campaign(header)
+                for key, result in store.completed().items():
+                    if key in valid_keys and key not in done_cells:
+                        done_cells[key] = result
+                for slice_key, result in store.completed_slices().items():
+                    if slice_key[:3] in valid_keys and slice_key not in done_slices:
+                        done_slices[slice_key] = result
+            sliced_cells = {slice_key[:3] for slice_key in done_slices}
+            run_state = AllocationRun(allocator, cells, self.config.base_seed)
+            start = time.perf_counter()
+            sink.emit(
+                "campaign_start",
+                tools=list(tool_names),
+                programs=list(program_names),
+                trials=self.config.trials,
+                total_cells=len(cells),
+                resumed_cells=len(sliced_cells | set(done_cells)),
+                processes=self._process_count(),
+            )
+            stats = {"retries": 0, "failed": 0, "executions": 0}
+            while (plan := run_state.next_plan()) is not None:
+                round_index = run_state.round_index
+                sink.emit(
+                    "alloc_round",
+                    allocator=allocator.name,
+                    round=round_index,
+                    budget=sum(plan.values()),
+                    cells=len(plan),
+                )
+                estimates = run_state.estimates()
+                round_results: dict[tuple[str, str, int], BugSearchResult] = {}
+                recorder = self._make_recorder(
+                    round_results, stats, sink, store, slice_round=round_index
+                )
+                pending: list[CellSpec] = []
+                for key in sorted(plan):
+                    tool_name, program_name, trial = key
+                    sink.emit(
+                        "alloc_estimate",
+                        allocator=allocator.name,
+                        round=round_index,
+                        tool=tool_name,
+                        program=program_name,
+                        trial=trial,
+                        allocated=plan[key],
+                        estimate=estimates.get(key),
+                    )
+                    slice_key = (tool_name, program_name, trial, round_index)
+                    if slice_key in done_slices:
+                        round_results[key] = done_slices[slice_key]
+                        continue
+                    if round_index == 0 and key in done_cells and key not in sliced_cells:
+                        # A store/checkpoint written by the single-pass path
+                        # (only header-compatible under the uniform
+                        # allocator): the whole cell is already done.
+                        round_results[key] = done_cells[key]
+                        continue
+                    pending.append(
+                        CellSpec(
+                            tool=tool_name,
+                            program=program_name,
+                            trial=trial,
+                            seed=slice_seed(self.config.base_seed, trial, round_index),
+                            budget=plan[key],
+                            factory_ref=refs[tool_name],
+                            fault_hook=self.fault_hook,
+                            sanitizers=tuple(self.config.sanitizers),
+                            verify_replays=self.config.verify_replays,
+                            guard=(
+                                self.config.guard.as_tuple()
+                                if self.config.guard is not None
+                                else None
+                            ),
+                        )
+                    )
+                if pending:
+                    if self._process_count() == 0:
+                        for spec in pending:
+                            self._run_serial_cell(spec, 1, recorder, stats, sink)
+                    else:
+                        self._execute_parallel(pending, recorder, stats, sink)
+                run_state.observe(plan, round_results)
+            merged = run_state.merged()
+            if store is not None:
+                already = store.completed()
+                for key in sorted(merged):
+                    if key not in already:
+                        store.record_result(merged[key])
+            wall_time = time.perf_counter() - start
+            sink.emit(
+                "campaign_end",
+                wall_time=wall_time,
+                cells=len(merged),
+                failed_cells=stats["failed"],
+                retries=stats["retries"],
+                executions=stats["executions"],
+                schedules_per_sec=stats["executions"] / wall_time if wall_time > 0 else 0.0,
+            )
+            outcome = self._assemble(tool_names, program_names, deterministic, merged)
+            outcome.allocation = run_state.ledger()
+            return outcome
+        finally:
+            if store_owned:
+                store.close()
+
+    def _build_cells(self, tool_names: list[str], program_names: list[str]):
+        """The allocator's view of the campaign: CellInfo per cell, plus the
+        deterministic-tool set and factory references for spec building."""
+        from repro.harness.allocator import CellInfo
+
+        deterministic: set[str] = set()
+        refs: dict[str, str] = {}
+        cells: list[CellInfo] = []
+        for tool_name in tool_names:
+            if tool_name not in _TOOL_FACTORIES:
+                raise KeyError(f"unknown tool {tool_name!r}; known: {sorted(_TOOL_FACTORIES)}")
+            factory = _TOOL_FACTORIES[tool_name]
+            refs[tool_name] = factory_ref(factory)
+            if factory().deterministic:
+                deterministic.add(tool_name)
+            trials = 1 if tool_name in deterministic else self.config.trials
+            for program_name in program_names:
+                budget = self.config.budget_for(program_name)
+                for trial in range(trials):
+                    cells.append(
+                        CellInfo(
+                            tool=tool_name,
+                            program=program_name,
+                            trial=trial,
+                            budget=budget,
+                            one_shot=tool_name in deterministic,
+                        )
+                    )
+        return cells, deterministic, refs
+
+    def _load_allocated_checkpoint(
+        self, header: dict[str, Any], valid_keys: set[tuple[str, str, int]]
+    ) -> tuple[
+        dict[tuple[str, str, int], BugSearchResult],
+        dict[tuple[str, str, int, int], BugSearchResult],
+    ]:
+        """Resume (whole cells, round slices) from the checkpoint file."""
+        done_cells: dict[tuple[str, str, int], BugSearchResult] = {}
+        done_slices: dict[tuple[str, str, int, int], BugSearchResult] = {}
+        if self.checkpoint is None:
+            return done_cells, done_slices
+        records = read_jsonl(self.checkpoint)
+        if not records:
+            append_jsonl(header, self.checkpoint)
+            return done_cells, done_slices
+        if records[0] != header:
+            raise CampaignError(
+                f"checkpoint {self.checkpoint} belongs to a different campaign: "
+                f"{records[0]!r} != {header!r}"
+            )
+        for record in records[1:]:
+            result = result_from_dict(record["result"])
+            key = (result.tool, result.program, result.trial)
+            if key not in valid_keys:
+                continue
+            if "round" in record:
+                done_slices.setdefault((*key, record["round"]), result)
+            else:
+                done_cells.setdefault(key, result)
+        return done_cells, done_slices
 
     # -- cell spec construction ----------------------------------------
     def _build_specs(
@@ -415,6 +602,7 @@ class ParallelCampaign:
         stats: dict[str, int],
         sink: TelemetrySink,
         store=None,
+        slice_round: int | None = None,
     ) -> Callable[[CellSpec, int, CellOutcome | None, BugSearchResult], None]:
         def record(
             spec: CellSpec, attempt: int, outcome: CellOutcome | None, result: BugSearchResult
@@ -423,7 +611,10 @@ class ParallelCampaign:
             if store is not None:
                 # Durable ledger first: if we die between the two appends, the
                 # checkpoint is behind the store and resume takes the union.
-                store.record_result(result)
+                if slice_round is None:
+                    store.record_result(result)
+                else:
+                    store.record_slice(slice_round, result)
             if outcome is not None:
                 stats["executions"] += outcome.result.executions
                 # The executor-level counter delta also counts executions;
@@ -457,7 +648,10 @@ class ParallelCampaign:
                         pair=list(report.pair),
                     )
             if self.checkpoint is not None:
-                append_jsonl({"result": result_to_dict(result)}, self.checkpoint)
+                payload: dict[str, Any] = {"result": result_to_dict(result)}
+                if slice_round is not None:
+                    payload["round"] = slice_round
+                append_jsonl(payload, self.checkpoint)
                 sink.emit(
                     "checkpoint",
                     path=str(self.checkpoint),

@@ -173,6 +173,8 @@ def result_to_dict(result: BugSearchResult) -> dict[str, Any]:
         out["bucket"] = result.bucket
     if result.replay_verdict is not None:
         out["replay_verdict"] = result.replay_verdict
+    if result.new_signatures:
+        out["new_signatures"] = result.new_signatures
     return out
 
 
@@ -193,6 +195,7 @@ def result_from_dict(data: dict[str, Any]) -> BugSearchResult:
         ),
         bucket=data.get("bucket"),
         replay_verdict=data.get("replay_verdict"),
+        new_signatures=data.get("new_signatures", 0),
     )
 
 

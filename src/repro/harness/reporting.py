@@ -213,6 +213,8 @@ def store_summary(inspection) -> str:
             f"  torn tail:        {inspection.recovered_bytes} byte(s) "
             f"truncated on open"
         )
+    if getattr(inspection, "slices", 0):
+        lines.append(f"  slices:           {inspection.slices} allocation-round record(s)")
     header = inspection.header
     if header:
         lines.append(
@@ -220,8 +222,58 @@ def store_summary(inspection) -> str:
             f"{len(header.get('programs', []))} program(s) x "
             f"{header.get('trials')} trial(s), base seed {header.get('base_seed')}"
         )
+        allocator = header.get("allocator")
+        if allocator:
+            lines.append(
+                f"  allocator:        {allocator.get('name')} "
+                f"({allocator.get('rounds')} round(s), "
+                f"floor {allocator.get('min_cell_budget')})"
+            )
     else:
         lines.append("  campaign:         (none bound yet)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Adaptive budget allocation
+# ----------------------------------------------------------------------
+def allocation_summary(campaign: CampaignResult, top: int = 3) -> str:
+    """Render a campaign's allocation ledger: per-round budgets, where the
+    schedules went, and the per-cell totals the allocator converged on."""
+    ledger = campaign.allocation
+    if not ledger:
+        return "Allocation: (campaign ran without a budget allocator)"
+    lines = [
+        f"Allocation ledger — allocator: {ledger['allocator']}, "
+        f"floor {ledger.get('min_cell_budget', 1)}/cell/round"
+    ]
+    totals: dict[tuple[str, str, int], int] = {}
+    for entry in ledger["rounds"]:
+        found = sum(1 for s in entry["slices"] if s["found"])
+        lines.append(
+            f"  round {entry['round']}: {entry['budget']} schedules over "
+            f"{entry['cells']} cell(s), {found} bug(s)"
+        )
+        ranked = sorted(
+            entry["slices"],
+            key=lambda s: (-s["allocated"], s["tool"], s["program"], s["trial"]),
+        )
+        for s in ranked[:top]:
+            estimate = s["estimate"]
+            estimate_text = f", est {estimate:.4f}" if estimate is not None else ""
+            lines.append(
+                f"    {s['tool']} / {s['program']} trial {s['trial']}: "
+                f"{s['allocated']} schedule(s){estimate_text}"
+            )
+        for s in entry["slices"]:
+            key = (s["tool"], s["program"], s["trial"])
+            totals[key] = totals.get(key, 0) + s["allocated"]
+    if totals:
+        spread = sorted(totals.values())
+        lines.append(
+            f"  totals: {sum(spread)} schedules allocated, per-cell "
+            f"min {spread[0]} / max {spread[-1]}"
+        )
     return "\n".join(lines)
 
 

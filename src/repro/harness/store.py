@@ -76,6 +76,9 @@ SEGMENT_MAX_RECORDS = 4096
 #: A campaign cell's identity inside the store.
 CellKey = tuple[str, str, int]
 
+#: One allocation-round slice of a cell: (tool, program, trial, round).
+SliceKey = tuple[str, str, int, int]
+
 
 class StoreError(RuntimeError):
     """The store is unusable as asked (missing, corrupt, or misconfigured)."""
@@ -102,6 +105,8 @@ class StoreInspection:
     recovered_bytes: int
     compactions: int
     header: dict[str, Any] | None = field(default=None)
+    #: Allocation-round slice records (adaptive campaigns only).
+    slices: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -114,6 +119,7 @@ class StoreInspection:
             "recovered_bytes": self.recovered_bytes,
             "compactions": self.compactions,
             "header": self.header,
+            "slices": self.slices,
         }
 
 
@@ -309,12 +315,36 @@ class CorpusStore:
             results.setdefault(key, result)
         return results
 
+    def completed_slices(self) -> dict[SliceKey, BugSearchResult]:
+        """Every allocation-round slice with a valid record, first-wins.
+
+        Adaptive campaigns resume at slice granularity: a campaign killed
+        mid-round replays its completed slices from here and re-runs only
+        the missing ones, converging bit-identically."""
+        results: dict[SliceKey, BugSearchResult] = {}
+        for record, ok in self._iter_valid():
+            if not ok or record.get("type") != "slice":
+                continue
+            result = result_from_dict(record["result"])
+            key = (result.tool, result.program, result.trial, record["round"])
+            results.setdefault(key, result)
+        return results
+
     # -- writing -------------------------------------------------------
     def record_result(self, result: BugSearchResult) -> None:
         """Append one cell result; fsyncs when the record admits a bug."""
         if self.readonly:
             raise StoreError(f"{self.path}: store opened readonly")
         record = attach_checksum({"type": "cell", "result": result_to_dict(result)})
+        self._append(record, durable=result.found)
+
+    def record_slice(self, round_index: int, result: BugSearchResult) -> None:
+        """Append one allocation-round slice result (adaptive campaigns)."""
+        if self.readonly:
+            raise StoreError(f"{self.path}: store opened readonly")
+        record = attach_checksum(
+            {"type": "slice", "round": round_index, "result": result_to_dict(result)}
+        )
         self._append(record, durable=result.found)
 
     def _append(self, record: dict[str, Any], *, durable: bool) -> None:
@@ -353,12 +383,22 @@ class CorpusStore:
             raise StoreError(f"{self.path}: store opened readonly")
         before_segments = len(self.segments)
         before_records = sum(1 for _ in self._iter_raw())
-        live: dict[CellKey, dict[str, Any]] = {}
+        live: dict[tuple, dict[str, Any]] = {}
         for record, ok in self._iter_valid():
-            if not ok or record.get("type") != "cell":
+            if not ok:
                 continue
-            data = record["result"]
-            live.setdefault((data["tool"], data["program"], data["trial"]), record)
+            record_type = record.get("type")
+            if record_type == "cell":
+                data = record["result"]
+                live.setdefault(("cell", data["tool"], data["program"], data["trial"]), record)
+            elif record_type == "slice":
+                # Slice records survive compaction: a resumed adaptive
+                # campaign replays them to rebuild allocator history.
+                data = record["result"]
+                live.setdefault(
+                    ("slice", data["tool"], data["program"], data["trial"], record["round"]),
+                    record,
+                )
         self._handle.close()
         self._handle = None
         index = int(self.segments[-1].stem.split("-")[1]) + 1
@@ -389,6 +429,7 @@ class CorpusStore:
     def inspect(self) -> StoreInspection:
         records = 0
         corrupt = 0
+        slices = 0
         cells: dict[CellKey, bool] = {}
         for record, ok in self._iter_valid():
             records += 1
@@ -399,6 +440,8 @@ class CorpusStore:
                 data = record["result"]
                 key = (data["tool"], data["program"], data["trial"])
                 cells.setdefault(key, bool(data["found"]))
+            elif record.get("type") == "slice":
+                slices += 1
         return StoreInspection(
             path=str(self.path),
             segments=len(self.segments),
@@ -409,6 +452,7 @@ class CorpusStore:
             recovered_bytes=self.recovered_bytes,
             compactions=self._manifest["compactions"],
             header=self.header,
+            slices=slices,
         )
 
     def verify(self) -> StoreInspection:

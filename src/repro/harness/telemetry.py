@@ -137,6 +137,11 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "gen_eval_end": frozenset(
         {"tools", "programs", "trials", "budget", "detected", "fn_rates"}
     ),
+    # Adaptive budget allocation (repro.harness.allocator).
+    "alloc_round": frozenset({"allocator", "round", "budget", "cells"}),
+    "alloc_estimate": frozenset(
+        {"allocator", "round", "tool", "program", "trial", "allocated", "estimate"}
+    ),
     # Supervised campaign fabric (repro.harness.supervisor / .store).
     "heartbeat": frozenset({"pid", "tool", "program", "trial", "seq"}),
     "lease_reassign": frozenset({"tool", "program", "trial", "attempt", "kind", "delay"}),

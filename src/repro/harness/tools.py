@@ -58,6 +58,10 @@ class BugSearchResult:
     #: ``"FLAKY"`` otherwise (the finding is quarantined), None when replay
     #: verification was off or the tool cannot replay (model checkers).
     replay_verdict: str | None = None
+    #: Executions whose reads-from signature was new to this trial — the
+    #: novelty counter adaptive budget allocators estimate from (0 for
+    #: tools that do not track rf-signatures).
+    new_signatures: int = 0
 
 
 class TestingTool(ABC):
@@ -92,6 +96,7 @@ class TestingTool(ABC):
         sanitizer_reports: tuple["SanitizerReport", ...] = (),
         bucket: str | None = None,
         replay_verdict: str | None = None,
+        new_signatures: int = 0,
     ) -> BugSearchResult:
         return BugSearchResult(
             tool=self.name,
@@ -105,6 +110,7 @@ class TestingTool(ABC):
             sanitizer_reports=sanitizer_reports,
             bucket=bucket,
             replay_verdict=replay_verdict,
+            new_signatures=new_signatures,
         )
 
     def _verify(
@@ -206,6 +212,7 @@ class RffTool(TestingTool):
             sanitizer_reports=tuple(r.report for r in report.sanitizer_records),
             bucket=bucket,
             replay_verdict=verdict,
+            new_signatures=report.unique_signatures,
         )
 
 
@@ -231,12 +238,14 @@ class PerExecutionPolicyTool(TestingTool):
             stack_builder = build_stack
         seen_keys: set[tuple] = set()
         all_reports: list["SanitizerReport"] = []
+        seen_signatures: set[int] = set()
         for index in range(1, budget + 1):
             current = policy if policy is not None else self._make_policy(rng.randrange(2**63))
             stack = stack_builder(self.sanitizers) if stack_builder else None
             result = Executor(
                 program, current, max_steps=max_steps, sanitizers=stack, guard=self.guard
             ).run()
+            seen_signatures.add(result.trace.rf_sig_hash())
             new_reports = [
                 r for r in result.sanitizer_reports if r.dedup_key not in seen_keys
             ]
@@ -253,6 +262,7 @@ class PerExecutionPolicyTool(TestingTool):
                     sanitizer_reports=tuple(all_reports),
                     bucket=bucket_id(key),
                     replay_verdict=verdict,
+                    new_signatures=len(seen_signatures),
                 )
             if new_reports:
                 first = new_reports[0]
@@ -268,8 +278,13 @@ class PerExecutionPolicyTool(TestingTool):
                     sanitizer_reports=tuple(all_reports),
                     bucket=bucket_id(sanitizer_key(first)),
                     replay_verdict=verdict,
+                    new_signatures=len(seen_signatures),
                 )
-        return self._result(program, seed, None, budget, sanitizer_reports=tuple(all_reports))
+        return self._result(
+            program, seed, None, budget,
+            sanitizer_reports=tuple(all_reports),
+            new_signatures=len(seen_signatures),
+        )
 
 
 def pos_tool() -> PerExecutionPolicyTool:

@@ -1,0 +1,137 @@
+"""Seeded statistical efficacy test: adaptive allocation finds more bugs.
+
+On the pinned ``gen:2000..2049`` corpus, under one global budget (50 cells
+× 4 schedules), adaptive allocators transfer budget freed by retired cells
+(bug already found) to the cells still searching — so across paired seeds
+they must detect **at least** as many planted bugs as the uniform split,
+and in total strictly more.  Bounds are pinned in
+``results/alloc_baseline.json``; the campaigns themselves are
+deterministic, so this suite never flakes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+from repro.gen.oracle import judge_result
+from repro.gen.synth import from_name
+from repro.harness.allocator import (
+    LaplaceAllocator,
+    NoveltyBiasAllocator,
+    UniformAllocator,
+)
+from repro.harness.campaign import Campaign, CampaignConfig
+from repro.harness.tools import random_tool
+
+BASELINE = json.loads(
+    (Path(__file__).resolve().parent.parent / "results" / "alloc_baseline.json").read_text()
+)
+CORPUS = BASELINE["corpus"]
+CFG = BASELINE["config"]
+NAMES = [f"gen:{seed}" for seed in range(CORPUS["start"], CORPUS["start"] + CORPUS["count"])]
+
+
+def _allocators():
+    return {
+        # Bit-identical to the legacy single-pass split (see
+        # test_allocator_differential.py) but carries an allocation ledger.
+        "uniform": UniformAllocator,
+        "laplace": lambda: LaplaceAllocator(rounds=CFG["rounds"]),
+        "novelty": lambda: NoveltyBiasAllocator(rounds=CFG["rounds"]),
+    }
+
+
+@pytest.fixture(scope="module")
+def truths():
+    return {name: from_name(name).ground_truth for name in NAMES}
+
+
+@pytest.fixture(scope="module")
+def measurements(truths):
+    """{allocator: {seed: (detected, campaign_result)}} over the pinned grid."""
+    programs = [bench.get(name) for name in NAMES]
+    out = {}
+    for alloc_name, make in _allocators().items():
+        per_seed = {}
+        for seed in CFG["seeds"]:
+            config = CampaignConfig(
+                trials=CFG["trials"], budget=CFG["budget"], base_seed=seed,
+                allocator=make(),
+            )
+            result = Campaign(config).run([random_tool()], programs)
+            detected = sum(
+                1
+                for name in NAMES
+                if judge_result(
+                    truths[name], result.results[(CFG["tool"], name)][0]
+                )["verdict"]
+                == "detected"
+            )
+            per_seed[seed] = (detected, result)
+        out[alloc_name] = per_seed
+    return out
+
+
+def test_corpus_shape_matches_baseline(truths):
+    planted = sum(1 for truth in truths.values() if truth.crash_outcome)
+    assert planted == CORPUS["planted"]
+    assert len(NAMES) == CORPUS["count"]
+
+
+class TestAdaptiveBeatsUniform:
+    @pytest.mark.parametrize("adaptive", ["laplace", "novelty"])
+    def test_paired_across_seeds_adaptive_never_detects_fewer(self, measurements, adaptive):
+        for seed in CFG["seeds"]:
+            uniform_detected = measurements["uniform"][seed][0]
+            adaptive_detected = measurements[adaptive][seed][0]
+            assert adaptive_detected >= uniform_detected, (
+                f"seed {seed}: {adaptive} detected {adaptive_detected} "
+                f"< uniform {uniform_detected}"
+            )
+
+    def test_totals_within_baseline_bounds(self, measurements):
+        bounds = BASELINE["bounds"]
+        totals = {
+            name: sum(d for d, _ in per_seed.values())
+            for name, per_seed in measurements.items()
+        }
+        assert totals["uniform"] <= bounds["uniform_total_max"]
+        assert totals["laplace"] >= bounds["laplace_total_min"]
+        assert totals["novelty"] >= bounds["novelty_total_min"]
+        advantage = totals["laplace"] - totals["uniform"]
+        assert advantage >= bounds["min_total_advantage"], (
+            f"laplace advantage {advantage} below baseline "
+            f"{bounds['min_total_advantage']} (totals: {totals})"
+        )
+
+
+class TestBudgetAccounting:
+    def test_every_campaign_spends_at_most_the_global_budget(self, measurements):
+        """Retirement frees budget; it never inflates it.  The uniform split
+        spends exactly the global budget (nothing retires mid-pass)."""
+        global_budget = CORPUS["count"] * CFG["budget"] * CFG["trials"]
+        for alloc_name, per_seed in measurements.items():
+            for seed, (_, result) in per_seed.items():
+                spent = sum(r["budget"] for r in result.allocation["rounds"])
+                if alloc_name == "uniform":
+                    assert spent == global_budget
+                else:
+                    assert spent <= global_budget, (alloc_name, seed, spent)
+
+    def test_adaptive_reallocates_rather_than_stops(self, measurements):
+        """At least one adaptive round allocates a cell more than its
+        uniform per-round share — the transfer actually happens."""
+        fair_share = CFG["budget"] / CFG["rounds"]
+        for alloc_name in ("laplace", "novelty"):
+            _, result = measurements[alloc_name][CFG["seeds"][0]]
+            boosted = [
+                slice_entry
+                for round_entry in result.allocation["rounds"][1:]
+                for slice_entry in round_entry["slices"]
+                if slice_entry["allocated"] > fair_share
+            ]
+            assert boosted, f"{alloc_name}: no cell ever got more than the fair share"

@@ -152,6 +152,8 @@ class TestValidateRecord:
             "campaign_end",
             "gen_corpus",
             "gen_eval_end",
+            "alloc_round",
+            "alloc_estimate",
             "heartbeat",
             "lease_reassign",
             "store_compact",
