@@ -60,6 +60,11 @@ def campaign_header(
     check.  The uniform allocator (and ``allocator=None``) stamps nothing —
     its headers stay byte-identical to pre-allocator campaigns, keeping
     old stores resumable.
+
+    Execution-engine choices never appear here: ``engine``, ``batch_size``
+    and pool sizing affect only *how* cells are dispatched, never what they
+    compute (the bit-identity contract), so a store written by a pooled
+    campaign resumes under the per-cell engine and vice versa.
     """
     header = {
         "checkpoint_version": 1,

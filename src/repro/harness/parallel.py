@@ -39,6 +39,7 @@ from __future__ import annotations
 import importlib
 import multiprocessing as mp
 import os
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -181,6 +182,25 @@ def _register_default_factories() -> None:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+def _rff_env_snapshot() -> tuple[tuple[str, str], ...]:
+    """The parent's ``RFF_*`` environment, as a picklable sorted tuple.
+
+    Fault-injection state travels through ``RFF_*`` variables.  Under the
+    ``fork`` start method children inherit them implicitly, but ``spawn``
+    re-executes the interpreter and ``forkserver`` forks from a *server*
+    process whose environment was frozen at first use — both can miss
+    variables set (e.g. by a chaos test) after interpreter start.  Workers
+    therefore restore this snapshot explicitly before running any cell.
+    """
+    return tuple(sorted((k, v) for k, v in os.environ.items() if k.startswith("RFF_")))
+
+
+def _restore_env_then(env: dict[str, str], target: Callable, args: tuple) -> None:
+    """Worker bootstrap: restore the parent's RFF_* env, then run ``target``."""
+    os.environ.update(env)
+    target(*args)
+
+
 def _run_cell(spec: CellSpec) -> CellOutcome:
     """Execute one campaign cell; shared by workers and serial fallback."""
     from repro import bench
@@ -272,10 +292,24 @@ class ParallelCampaign:
     #: Durable corpus store (CorpusStore instance or path); completed cells
     #: are recorded there and resumed from it, alongside any checkpoint.
     store: Any = None
+    #: Execution engine: "percell" forks one worker per slice attempt;
+    #: "pool" serves batches of slices through long-lived workers that
+    #: cache tools and programs (see repro.harness.pool).  Results are
+    #: bit-identical either way.
+    engine: str = "percell"
+    #: Maximum slices per pooled batch (None = pool default).
+    batch_size: int | None = None
+    #: Directory for per-worker cProfile dumps under the pool engine
+    #: (None = profiling off); summarize with reporting.profile_summary.
+    profile_dir: str | Path | None = None
 
     # -- public API -----------------------------------------------------
     def run(self, tool_names: list[str], program_names: list[str]) -> CampaignResult:
         """Run all campaign cells; the result is bit-identical to serial runs."""
+        if self.engine not in ("percell", "pool"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'percell' or 'pool'"
+            )
         _register_default_factories()
         if self.config.allocator is not None:
             return self._run_allocated(tool_names, program_names)
@@ -325,6 +359,7 @@ class ParallelCampaign:
             )
             return self._assemble(tool_names, program_names, deterministic, completed)
         finally:
+            self._close_pool()
             if store_owned:
                 store.close()
 
@@ -459,6 +494,10 @@ class ParallelCampaign:
             outcome.allocation = run_state.ledger()
             return outcome
         finally:
+            # The pool persists across allocation rounds (that is the point:
+            # worker caches amortize over the whole campaign); it is torn
+            # down only here, once the last round has run.
+            self._close_pool()
             if store_owned:
                 store.close()
 
@@ -715,6 +754,54 @@ class ParallelCampaign:
             return
         recorder(spec, attempt, outcome, outcome.result)
 
+    # -- pooled execution -----------------------------------------------
+    def _pool_heartbeat_seconds(self) -> float | None:
+        """Heartbeat period for pooled workers (None = no heartbeats) —
+        subclass hook; the supervised engine returns its configured period."""
+        return None
+
+    def _pool_kwargs(self) -> dict[str, Any]:
+        """Extra WorkerPool arguments — subclass hook (the supervised engine
+        adds its lease timeout and retry backoff)."""
+        return {}
+
+    def _ensure_pool(self):
+        """The campaign's persistent worker pool, created on first use and
+        kept alive across allocation rounds so worker caches amortize."""
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            return pool
+        from repro.harness.pool import WorkerPool, WorkerProfile
+
+        profile_dir = None
+        if self.profile_dir is not None:
+            profile_dir = str(self.profile_dir)
+            Path(profile_dir).mkdir(parents=True, exist_ok=True)
+        profile = WorkerProfile(
+            sanitizers=tuple(self.config.sanitizers),
+            verify_replays=self.config.verify_replays,
+            guard=self.config.guard.as_tuple() if self.config.guard is not None else None,
+            fault_hook=self.fault_hook,
+            heartbeat_seconds=self._pool_heartbeat_seconds(),
+            profile_dir=profile_dir,
+            env=_rff_env_snapshot(),
+        )
+        context = mp.get_context(self.start_method or _default_start_method())
+        self._pool = WorkerPool(
+            context=context,
+            size=max(1, self._process_count()),
+            profile=profile,
+            batch_size=self.batch_size,
+            **self._pool_kwargs(),
+        )
+        return self._pool
+
+    def _close_pool(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            self._pool = None
+            pool.close(self.telemetry)
+
     # -- parallel execution --------------------------------------------
     def _worker_invocation(self, child_conn, spec: CellSpec) -> tuple[Callable, tuple]:
         """The (target, args) a worker process runs — subclass hook (the
@@ -729,7 +816,11 @@ class ParallelCampaign:
         try:
             parent_conn, child_conn = context.Pipe(duplex=False)
             target, args = self._worker_invocation(child_conn, spec)
-            proc = context.Process(target=target, args=args, daemon=True)
+            proc = context.Process(
+                target=_restore_env_then,
+                args=(dict(_rff_env_snapshot()), target, args),
+                daemon=True,
+            )
             proc.start()
         except OSError:
             return None
@@ -816,6 +907,9 @@ class ParallelCampaign:
         stats: dict[str, int],
         sink: TelemetrySink,
     ) -> None:
+        if self.engine == "pool":
+            self._ensure_pool().execute(specs, recorder, stats, sink, self)
+            return
         context = mp.get_context(self.start_method or _default_start_method())
         capacity = max(1, self._process_count())
         queue: deque[tuple[CellSpec, int]] = deque((spec, 1) for spec in specs)
@@ -897,4 +991,12 @@ class ParallelCampaign:
 
 
 def _default_start_method() -> str:
-    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    """Prefer ``forkserver`` on 3.12+ (fork-from-threaded-parent is deprecated
+    there and the server process keeps launches cheap and thread-safe); keep
+    ``fork`` on older interpreters where it is still the fastest safe default.
+    Workers re-apply the parent's ``RFF_*`` env either way, so fault-injection
+    behaviour is identical across start methods."""
+    methods = mp.get_all_start_methods()
+    if sys.version_info >= (3, 12) and "forkserver" in methods:
+        return "forkserver"
+    return "fork" if "fork" in methods else "spawn"

@@ -1,0 +1,702 @@
+"""Persistent batched worker pool: fork-server-style campaign execution.
+
+The paper's C/C++ RFF rides on AFL's fork server to amortize target startup
+cost across executions; the per-cell engine in
+:mod:`repro.harness.parallel` still pays a full process spawn plus tool and
+program construction for every (cell, attempt, slice).  Allocation rounds
+multiplied the number of *small* slices, so that per-dispatch overhead now
+dominates short campaigns.  This module is the analogue of the fork server:
+
+* **Long-lived workers.**  ``pool_size`` processes are spawned once per
+  campaign and serve *batches* of slices over a request/reply pipe
+  protocol, surviving across batches and allocation rounds.
+* **Worker-side caches.**  Each worker caches constructed tools keyed by
+  ``(tool_name, program_name)`` and resolved programs keyed by program
+  name.  Caching is determinism-safe because every ``find_bug`` call
+  builds its own RNG/policy/fuzzer state from the slice seed; campaign
+  attributes (sanitizers, replay verification, guardrails) are applied
+  from the campaign-wide :class:`WorkerProfile`, which never changes over
+  a pool's lifetime.  Tools that keep cross-call state can opt out with
+  ``reusable = False`` (see :class:`repro.harness.tools.TestingTool`).
+* **Compact replies.**  Results cross the pipe in persist-dict form
+  (:func:`repro.harness.persist.result_to_dict`), not as pickled live
+  objects; the dispatcher re-interns repeated strings and rf-pair buffers
+  on decode so ten thousand slices don't allocate ten thousand copies of
+  ``"CS/reorder_10"``.
+* **Budget-aware batching.**  The dispatcher packs slices into batches
+  bounded both by slice count and by total schedule budget
+  (:func:`repro.harness.allocator.pack_batches`), so one slow batch cannot
+  starve an allocation-round barrier.
+* **Crash replay of unfinished slices only.**  Workers stream one
+  ``slice_done`` message per slice; when a worker dies mid-batch the
+  dispatcher already holds every completed slice and re-enqueues only the
+  unfinished remainder on a fresh worker (``worker_recycle`` telemetry).
+  Combined with the engines' retry accounting this preserves the golden
+  contract: for a fixed (seed, allocator), serial == per-cell == pool ==
+  SIGKILL'd-and-resumed, bit for bit.
+
+Wire protocol (one duplex pipe per worker):
+
+======================  =================================================
+parent -> worker        ``("batch", batch_id, [wire_slice, ...])`` then
+                        eventually ``("shutdown",)``
+worker -> parent        ``("slice_done", batch_id, index, payload)`` or
+                        ``("slice_error", batch_id, index, message)`` per
+                        slice, ``("batch_end", batch_id)`` per batch, and
+                        ``("heartbeat", seq, identity)`` when supervised
+======================  =================================================
+
+A wire slice is the interned tuple ``(tool, program, trial, seed, budget,
+factory_ref)``; a reply payload is ``(result_dict, wall_time,
+counters_dict)``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable
+
+from repro.core.trace import intern_schedule
+from repro.harness.persist import result_from_dict, result_to_dict
+from repro.harness.telemetry import GLOBAL_COUNTERS, TelemetrySink
+
+#: Default maximum slices per dispatched batch.
+DEFAULT_BATCH_SLICES = 8
+#: Target number of batch "waves" per worker per execute() call; the budget
+#: cap is sized so a round splits into roughly this many batches per worker,
+#: keeping any single batch from holding the round barrier hostage.
+BATCH_WAVES = 4
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Campaign-wide configuration shipped to each worker exactly once.
+
+    Everything here is constant for the life of one campaign, which is what
+    makes the worker-side tool cache sound: a cached tool re-applies the
+    same profile attributes before every slice, so no slice can observe
+    state leaked from a differently-configured predecessor.
+    """
+
+    sanitizers: tuple[str, ...] = ()
+    verify_replays: int = 0
+    guard: tuple | None = None
+    fault_hook: str | None = None
+    #: Interval of the worker's heartbeat thread; None disables heartbeats.
+    heartbeat_seconds: float | None = None
+    #: Directory for per-worker cProfile dumps; None disables profiling.
+    profile_dir: str | None = None
+    #: Snapshot of ``RFF_*`` environment variables taken dispatcher-side.
+    #: Restored inside the worker so chaos plans and fault hooks behave
+    #: identically under fork, forkserver and spawn — the forkserver
+    #: process inherits the environment of its *first* use, not of the
+    #: campaign that is currently running.
+    env: tuple[tuple[str, str], ...] = ()
+
+
+def wire_slice(spec) -> tuple:
+    """The compact, interned wire form of one :class:`CellSpec` slice."""
+    return intern_schedule(
+        (spec.tool, spec.program, spec.trial, spec.seed, spec.budget, spec.factory_ref)
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _apply_profile(tool, profile: WorkerProfile) -> None:
+    """Apply campaign-wide tool attributes, mirroring ``_run_cell``."""
+    if profile.sanitizers:
+        tool.sanitizers = tuple(profile.sanitizers)
+    if profile.verify_replays:
+        tool.verify_replays = profile.verify_replays
+    if profile.guard is not None:
+        from repro.runtime.guard import GuardConfig
+
+        step_budget, wall_seconds, livelock_window = profile.guard
+        tool.guard = GuardConfig(
+            step_budget=step_budget,
+            wall_seconds=wall_seconds,
+            livelock_window=livelock_window,
+        )
+
+
+def _execute_wire_slice(wire: tuple, profile: WorkerProfile, tools: dict, programs: dict):
+    """Run one slice against the worker's caches; returns the reply payload."""
+    from repro import bench
+    from repro.harness.parallel import CellSpec, resolve_ref
+
+    tool_name, program_name, trial, seed, budget, ref = wire
+    if profile.fault_hook:
+        # Fault hooks receive a full CellSpec so chaos plans key the same
+        # tool|program|trial cells as the per-cell engine does.
+        spec = CellSpec(
+            tool=tool_name,
+            program=program_name,
+            trial=trial,
+            seed=seed,
+            budget=budget,
+            factory_ref=ref,
+            fault_hook=profile.fault_hook,
+            sanitizers=profile.sanitizers,
+            verify_replays=profile.verify_replays,
+            guard=profile.guard,
+        )
+        resolve_ref(profile.fault_hook)(spec)
+    cache_key = (tool_name, program_name)
+    tool = tools.get(cache_key)
+    if tool is None:
+        tool = resolve_ref(ref)()
+        if getattr(tool, "reusable", True):
+            tools[cache_key] = tool
+    _apply_profile(tool, profile)
+    program = programs.get(program_name)
+    if program is None:
+        program = programs[program_name] = bench.get(program_name)
+    before = GLOBAL_COUNTERS.snapshot()
+    start = time.perf_counter()
+    result = tool.find_bug(program, budget, seed)
+    wall_time = time.perf_counter() - start
+    counters = GLOBAL_COUNTERS.delta(before).as_dict()
+    return (result_to_dict(replace(result, trial=trial)), wall_time, counters)
+
+
+def _pool_worker_main(conn, profile: WorkerProfile) -> None:
+    """Worker entrypoint: serve batches until told to shut down.
+
+    Tools and programs are cached across batches *and* allocation rounds —
+    this loop is the fork-server analogue the module docstring describes.
+    Replies stream per slice so the dispatcher can replay only unfinished
+    work when this process dies mid-batch.
+    """
+    os.environ.update(dict(profile.env))
+    import threading
+
+    from repro.harness import faults
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    #: Identity (tool, program, trial) of the slice currently running; the
+    #: heartbeat thread reads it so parent-side telemetry can attribute
+    #: beats to cells (None while idle between batches).
+    current: list = [None]
+
+    if profile.heartbeat_seconds:
+
+        def beat() -> None:
+            seq = 0
+            while not stop.wait(profile.heartbeat_seconds):
+                if faults.is_wedged():
+                    continue
+                seq += 1
+                with send_lock:
+                    if stop.is_set():
+                        return
+                    try:
+                        conn.send(("heartbeat", seq, current[0]))
+                    except OSError:  # parent gone; nothing left to report to
+                        return
+
+        threading.Thread(target=beat, daemon=True).start()
+
+    profiler = None
+    if profile.profile_dir:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+
+    def dump_profile() -> None:
+        if profiler is None:
+            return
+        profiler.disable()
+        target = os.path.join(profile.profile_dir, f"worker-{os.getpid()}.pstats")
+        profiler.dump_stats(target)
+        profiler.enable()
+
+    tools: dict[tuple[str, str], Any] = {}
+    programs: dict[str, Any] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):  # parent died; die with it
+                return
+            if message[0] == "shutdown":
+                dump_profile()
+                return
+            _, batch_id, slices = message
+            for index, wire in enumerate(slices):
+                current[0] = (wire[0], wire[1], wire[2])
+                try:
+                    payload = ("slice_done", batch_id, index,
+                               _execute_wire_slice(wire, profile, tools, programs))
+                except BaseException as exc:  # noqa: BLE001 - must not leak workers
+                    payload = ("slice_error", batch_id, index,
+                               f"{type(exc).__name__}: {exc}")
+                current[0] = None
+                with send_lock:
+                    conn.send(payload)
+            with send_lock:
+                conn.send(("batch_end", batch_id))
+            # Dump after every batch, not only at shutdown, so a worker that
+            # is later killed still leaves profile data for completed work.
+            dump_profile()
+    finally:
+        stop.set()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Dispatcher side
+# ----------------------------------------------------------------------
+def _intern_reply(data: dict) -> dict:
+    """Re-intern the repeated strings of one reply's result dict in place.
+
+    A campaign decodes thousands of replies whose tool/program/outcome and
+    sanitizer rf-pair strings repeat across slices; ``sys.intern`` collapses
+    them to shared singletons parent-side (the same discipline the abstract
+    event and rf-pair tables apply inside the executor).
+    """
+    data["tool"] = sys.intern(data["tool"])
+    data["program"] = sys.intern(data["program"])
+    outcome = data.get("outcome")
+    if isinstance(outcome, str):
+        data["outcome"] = sys.intern(outcome)
+    for report in data.get("sanitizer_reports", ()):
+        report["sanitizer"] = sys.intern(report["sanitizer"])
+        report["kind"] = sys.intern(report["kind"])
+        report["pair"] = [sys.intern(part) for part in report["pair"]]
+    return data
+
+
+def _decode_outcome(payload):
+    """Reply payload -> CellOutcome (lazy import avoids a module cycle)."""
+    from repro.harness.parallel import CellOutcome
+
+    data, wall_time, counters = payload
+    return CellOutcome(
+        result=result_from_dict(_intern_reply(data)),
+        wall_time=wall_time,
+        counters=counters,
+    )
+
+
+@dataclass
+class _Batch:
+    """One dispatched unit of work: parallel arrays over its slices."""
+
+    batch_id: int
+    specs: list
+    attempts: list[int]
+    wires: list[tuple]
+    budget: int
+    done: list[bool] = field(default_factory=list)
+    #: Earliest dispatch time (crash-replay batches back off under the
+    #: supervised engine's exponential-backoff policy).
+    not_before: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.done:
+            self.done = [False] * len(self.specs)
+
+    def unfinished(self) -> list[int]:
+        return [index for index, is_done in enumerate(self.done) if not is_done]
+
+
+@dataclass
+class _PoolWorker:
+    """Parent-side handle of one long-lived pool worker."""
+
+    proc: Any
+    conn: Any
+    started: float
+    last_beat: float
+    #: Time of the worker's last slice completion (or batch dispatch); the
+    #: per-slice ``cell_timeout`` is enforced as time-without-progress.
+    last_progress: float
+    batch: _Batch | None = None
+
+
+class WorkerPool:
+    """A pool of long-lived batch-serving workers for one campaign.
+
+    The pool outlives individual ``execute()`` calls — the allocated path
+    calls it once per round, and worker caches persist across rounds.  All
+    failure *policy* (retry budgets, isolate-failures semantics, backoff
+    pacing) stays with the owning engine; the pool only implements the
+    mechanics of dispatch, streaming replies, and crash replay.
+    """
+
+    def __init__(
+        self,
+        context,
+        size: int,
+        profile: WorkerProfile,
+        batch_size: int | None = None,
+        batch_budget: int | None = None,
+        lease_seconds: float | None = None,
+        backoff: Callable[[int], float] | None = None,
+    ):
+        self.context = context
+        self.size = max(1, size)
+        self.profile = profile
+        self.batch_size = batch_size or DEFAULT_BATCH_SLICES
+        self.batch_budget = batch_budget
+        self.lease_seconds = lease_seconds
+        self.backoff = backoff
+        self._workers: dict[Any, _PoolWorker] = {}
+        self._batch_seq = 0
+        self._degraded = False
+
+    # -- batching -------------------------------------------------------
+    def _make_batch(self, specs: list, attempts: list[int], not_before: float = 0.0) -> _Batch:
+        self._batch_seq += 1
+        return _Batch(
+            batch_id=self._batch_seq,
+            specs=list(specs),
+            attempts=list(attempts),
+            wires=[wire_slice(spec) for spec in specs],
+            budget=sum(spec.budget for spec in specs),
+            not_before=not_before,
+        )
+
+    def _pack(self, specs: list) -> list[_Batch]:
+        from repro.harness.allocator import pack_batches
+
+        total = sum(spec.budget for spec in specs)
+        largest = max(spec.budget for spec in specs)
+        cap = self.batch_budget or max(largest, -(-total // (self.size * BATCH_WAVES)))
+        return [
+            self._make_batch(group, [1] * len(group))
+            for group in pack_batches(specs, self.batch_size, cap)
+        ]
+
+    # -- worker lifecycle -----------------------------------------------
+    def _spawn(self, sink: TelemetrySink) -> _PoolWorker | None:
+        try:
+            parent_conn, child_conn = self.context.Pipe(duplex=True)
+            proc = self.context.Process(
+                target=_pool_worker_main, args=(child_conn, self.profile), daemon=True
+            )
+            proc.start()
+        except OSError:
+            return None
+        child_conn.close()
+        now = time.perf_counter()
+        worker = _PoolWorker(
+            proc=proc, conn=parent_conn, started=now, last_beat=now, last_progress=now
+        )
+        self._workers[parent_conn] = worker
+        return worker
+
+    def _idle_worker(self) -> _PoolWorker | None:
+        for worker in self._workers.values():
+            if worker.batch is None:
+                return worker
+        return None
+
+    @staticmethod
+    def _kill(worker: _PoolWorker) -> None:
+        worker.proc.terminate()
+        worker.proc.join(timeout=5)
+        if worker.proc.is_alive():  # pragma: no cover - terminate() suffices
+            worker.proc.kill()
+            worker.proc.join()
+        worker.conn.close()
+
+    def close(self, sink: TelemetrySink | None = None) -> None:
+        """Shut every worker down (clean message first, then force)."""
+        sink = sink or TelemetrySink()
+        for worker in self._workers.values():
+            if worker.batch is not None:
+                # Abort path: a batch is still in flight; don't wait for it.
+                self._kill(worker)
+                continue
+            try:
+                worker.conn.send(("shutdown",))
+            except OSError:
+                pass
+        for worker in self._workers.values():
+            if worker.batch is not None:
+                continue
+            worker.proc.join(timeout=5)
+            if worker.proc.is_alive():  # pragma: no cover - shutdown suffices
+                worker.proc.terminate()
+                worker.proc.join()
+            worker.conn.close()
+            sink.emit("worker_exit", pid=worker.proc.pid, exitcode=worker.proc.exitcode, kind="ok")
+        self._workers.clear()
+
+    # -- dispatch/replay ------------------------------------------------
+    def _dispatch(self, worker: _PoolWorker, batch: _Batch, sink: TelemetrySink) -> bool:
+        for index, spec in enumerate(batch.specs):
+            sink.emit(
+                "cell_start",
+                tool=spec.tool,
+                program=spec.program,
+                trial=spec.trial,
+                attempt=batch.attempts[index],
+            )
+        try:
+            worker.conn.send(("batch", batch.batch_id, batch.wires))
+        except OSError:
+            return False
+        now = time.perf_counter()
+        worker.batch = batch
+        worker.last_progress = now
+        worker.last_beat = now
+        sink.emit(
+            "batch_dispatch",
+            pid=worker.proc.pid,
+            batch=batch.batch_id,
+            slices=len(batch.specs),
+            budget=batch.budget,
+        )
+        return True
+
+    def _recycle(
+        self,
+        worker: _PoolWorker,
+        kind: str,
+        detail: str,
+        waiting: list[_Batch],
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+        engine,
+    ) -> None:
+        """Retire a dead/killed worker and replay only its unfinished slices."""
+        del self._workers[worker.conn]
+        if kind == "crash":
+            worker.proc.join()
+            worker.conn.close()
+        else:
+            self._kill(worker)
+        exitcode = worker.proc.exitcode
+        batch = worker.batch
+        unfinished = [] if batch is None else batch.unfinished()
+        sink.emit("worker_exit", pid=worker.proc.pid, exitcode=exitcode, kind=kind)
+        sink.emit(
+            "worker_recycle",
+            pid=worker.proc.pid,
+            exitcode=exitcode,
+            kind=kind,
+            unfinished=len(unfinished),
+        )
+        if not unfinished:
+            return
+        replay_specs: list = []
+        replay_attempts: list[int] = []
+        delay = 0.0
+        for index in unfinished:
+            spec, attempt = batch.specs[index], batch.attempts[index]
+            if attempt <= engine.max_retries:
+                stats["retries"] += 1
+                sink.emit(
+                    "cell_retry",
+                    tool=spec.tool,
+                    program=spec.program,
+                    trial=spec.trial,
+                    attempt=attempt,
+                    kind=kind,
+                )
+                if self.backoff is not None:
+                    delay = max(delay, self.backoff(attempt))
+                    sink.emit(
+                        "lease_reassign",
+                        tool=spec.tool,
+                        program=spec.program,
+                        trial=spec.trial,
+                        attempt=attempt,
+                        kind=kind,
+                        delay=delay,
+                    )
+                replay_specs.append(spec)
+                replay_attempts.append(attempt + 1)
+            else:
+                engine._fail(spec, attempt, kind, detail, recorder, stats, sink)
+        if replay_specs:
+            waiting.append(
+                self._make_batch(
+                    replay_specs, replay_attempts, not_before=time.perf_counter() + delay
+                )
+            )
+
+    def _pump(
+        self,
+        worker: _PoolWorker,
+        waiting: list[_Batch],
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+        engine,
+    ) -> None:
+        """Drain every buffered message of one worker pipe."""
+        conn = worker.conn
+        while True:
+            try:
+                if not conn.poll():
+                    return
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._recycle(
+                    worker,
+                    "crash",
+                    f"worker died with exit code {worker.proc.exitcode}",
+                    waiting,
+                    recorder,
+                    stats,
+                    sink,
+                    engine,
+                )
+                return
+            tag = message[0]
+            now = time.perf_counter()
+            worker.last_beat = now
+            if tag == "heartbeat":
+                identity = message[2]
+                if identity is not None:
+                    sink.emit(
+                        "heartbeat",
+                        pid=worker.proc.pid,
+                        tool=identity[0],
+                        program=identity[1],
+                        trial=identity[2],
+                        seq=message[1],
+                    )
+            elif tag == "slice_done":
+                _, _, index, payload = message
+                batch = worker.batch
+                batch.done[index] = True
+                worker.last_progress = now
+                outcome = _decode_outcome(payload)
+                recorder(batch.specs[index], batch.attempts[index], outcome, outcome.result)
+            elif tag == "slice_error":
+                # Deterministic in-worker exception; retrying cannot help.
+                _, _, index, detail = message
+                batch = worker.batch
+                batch.done[index] = True
+                worker.last_progress = now
+                engine._fail(
+                    batch.specs[index], batch.attempts[index], "error", detail,
+                    recorder, stats, sink,
+                )
+            elif tag == "batch_end":
+                worker.batch = None
+
+    def _drain_serial(
+        self,
+        ready: deque,
+        waiting: list[_Batch],
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+        engine,
+    ) -> None:
+        """Degraded mode: no worker can be spawned; finish in-process."""
+        while ready or waiting:
+            batch = ready.popleft() if ready else waiting.pop(0)
+            for index in batch.unfinished():
+                engine._run_serial_cell(
+                    batch.specs[index], batch.attempts[index], recorder, stats, sink
+                )
+
+    # -- the dispatch loop ----------------------------------------------
+    def execute(
+        self,
+        specs: list,
+        recorder,
+        stats: dict[str, int],
+        sink: TelemetrySink,
+        engine,
+    ) -> None:
+        """Run every slice of ``specs`` through the pool (one round barrier).
+
+        Returns when every slice has been recorded (success or structured
+        failure).  Workers left idle at return stay alive for the next call.
+        """
+        if not specs:
+            return
+        ready: deque[_Batch] = deque(self._pack(specs))
+        #: Crash-replay batches waiting out their backoff delay.
+        waiting: list[_Batch] = []
+        if self._degraded:
+            self._drain_serial(ready, waiting, recorder, stats, sink, engine)
+            return
+        while ready or waiting or any(w.batch is not None for w in self._workers.values()):
+            now = time.perf_counter()
+            for batch in [b for b in waiting if b.not_before <= now]:
+                waiting.remove(batch)
+                ready.append(batch)
+            while ready:
+                worker = self._idle_worker()
+                if worker is None and len(self._workers) < self.size:
+                    worker = self._spawn(sink)
+                    if worker is None and not self._workers:
+                        # No live workers and none can start: degrade for
+                        # the rest of the campaign, like the per-cell pool.
+                        self._degraded = True
+                        sink.emit(
+                            "pool_degraded",
+                            reason="pool worker could not be started; "
+                            "running remaining slices serially in-process",
+                        )
+                        self._drain_serial(ready, waiting, recorder, stats, sink, engine)
+                        return
+                if worker is None:
+                    break
+                batch = ready.popleft()
+                if not self._dispatch(worker, batch, sink):
+                    # The idle worker died between batches; replace it and
+                    # put the batch back — nothing of it ran yet.
+                    self._recycle(
+                        worker, "crash", "idle worker died", waiting,
+                        recorder, stats, sink, engine,
+                    )
+                    ready.appendleft(batch)
+            if not self._workers:
+                if waiting and not ready:
+                    # Everything is backing off and no worker is alive yet;
+                    # sleep to the nearest retry-ready time, don't spin.
+                    time.sleep(
+                        max(0.0, min(b.not_before for b in waiting) - time.perf_counter())
+                    )
+                continue
+            deadlines = [b.not_before for b in waiting]
+            for worker in self._workers.values():
+                if worker.batch is not None and engine.cell_timeout is not None:
+                    deadlines.append(worker.last_progress + engine.cell_timeout)
+                if self.lease_seconds is not None:
+                    deadlines.append(worker.last_beat + self.lease_seconds)
+            timeout = max(0.0, min(deadlines) - now) if deadlines else None
+            for conn in mp_connection.wait(list(self._workers), timeout=timeout):
+                worker = self._workers.get(conn)
+                if worker is not None:
+                    self._pump(worker, waiting, recorder, stats, sink, engine)
+            now = time.perf_counter()
+            for worker in list(self._workers.values()):
+                timed_out = (
+                    worker.batch is not None
+                    and engine.cell_timeout is not None
+                    and now - worker.last_progress >= engine.cell_timeout
+                )
+                lease_lost = (
+                    self.lease_seconds is not None
+                    and now - worker.last_beat >= self.lease_seconds
+                )
+                if not (timed_out or lease_lost):
+                    continue
+                kind = "timeout" if timed_out else "lease"
+                detail = (
+                    f"slice exceeded {engine.cell_timeout:g}s without progress"
+                    if timed_out
+                    else f"worker missed its heartbeat deadline "
+                    f"({self.lease_seconds:g}s lease expired)"
+                )
+                self._recycle(worker, kind, detail, waiting, recorder, stats, sink, engine)

@@ -174,6 +174,11 @@ def throughput_summary(aggregator, slowest: int = 3) -> str:
         f"  wall time:        {summary['wall_time']:.2f}s",
         f"  worker restarts:  {summary['worker_restarts']}",
     ]
+    if getattr(aggregator, "batches_dispatched", 0):
+        lines.append(
+            f"  pooled batches:   {aggregator.batches_dispatched} dispatched, "
+            f"{getattr(aggregator, 'worker_recycles', 0)} worker recycle(s)"
+        )
     if getattr(aggregator, "lease_reassignments", 0):
         lines.append(
             f"  lease reassigns:  {aggregator.lease_reassignments} "
@@ -432,4 +437,39 @@ def groundtruth_summary(payload: dict) -> str:
             f"  {name:10s} tp={cell['tp']:3d} fn={cell['fn']:3d} fp={cell['fp']:3d} "
             f"tn={cell['tn']:3d}  fn_rate={cell['fn_rate']:.3f} fp_rate={cell['fp_rate']:.3f}"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pooled-worker profiling
+# ----------------------------------------------------------------------
+def profile_summary(profile_dir, top: int = 15) -> str:
+    """Merge the pool workers' ``.pstats`` dumps into one hot-spot table.
+
+    ``rff campaign --engine pool --profile DIR`` leaves one
+    ``worker-<pid>.pstats`` file per worker under ``DIR`` (re-dumped after
+    every batch, so even killed workers contribute their completed work);
+    this merges them and renders the ``top`` functions by cumulative time.
+    """
+    import io
+    import pstats
+    from pathlib import Path
+
+    dumps = sorted(Path(profile_dir).glob("worker-*.pstats"))
+    if not dumps:
+        return f"Worker profile: no .pstats dumps under {profile_dir}"
+    stats = pstats.Stats(str(dumps[0]))
+    for dump in dumps[1:]:
+        stats.add(str(dump))
+    buffer = io.StringIO()
+    stats.stream = buffer
+    stats.sort_stats("cumulative").print_stats(top)
+    lines = [
+        f"Worker profile ({len(dumps)} worker dump(s), top {top} by cumulative time)"
+    ]
+    # pstats prints a preamble (file list, ordering note) before the table;
+    # keep everything from the column header on.
+    rows = buffer.getvalue().splitlines()
+    start = next((i for i, row in enumerate(rows) if "ncalls" in row), 0)
+    lines.extend(f"  {row}" for row in rows[start:] if row.strip())
     return "\n".join(lines)

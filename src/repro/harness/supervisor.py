@@ -30,6 +30,10 @@ liveness contract.  :class:`SupervisedCampaign` adds one:
 Everything else — crash isolation, degraded serial fallback, checkpoint
 and store resume, bit-identical results — is inherited unchanged; the
 supervised engine only swaps the worker entrypoint and the wait loop.
+Under ``engine="pool"`` the same heartbeat/lease contract carries over to
+the persistent batched workers of :mod:`repro.harness.pool`: pooled workers
+beat at ``heartbeat_seconds``, a silent worker loses its lease after
+``lease_seconds``, and replayed slices back off via :meth:`backoff_delay`.
 """
 
 from __future__ import annotations
@@ -114,6 +118,15 @@ class SupervisedCampaign(ParallelCampaign):
 
     def _worker_invocation(self, child_conn, spec: CellSpec) -> tuple[Callable, tuple]:
         return _supervised_worker_main, (child_conn, spec, self.heartbeat_seconds)
+
+    # -- pooled execution -----------------------------------------------
+    def _pool_heartbeat_seconds(self) -> float | None:
+        """Pooled workers beat at the supervised cadence, so the same lease
+        contract applies under ``engine="pool"``."""
+        return self.heartbeat_seconds
+
+    def _pool_kwargs(self) -> dict:
+        return {"lease_seconds": self.lease_seconds, "backoff": self.backoff_delay}
 
     # -- failure accounting --------------------------------------------
     def _classify(self, key: tuple[str, str, int]) -> str:
@@ -222,6 +235,9 @@ class SupervisedCampaign(ParallelCampaign):
         stats: dict[str, int],
         sink: TelemetrySink,
     ) -> None:
+        if self.engine == "pool":
+            self._ensure_pool().execute(specs, recorder, stats, sink, self)
+            return
         context = mp.get_context(self.start_method or _default_start_method())
         capacity = max(1, self._process_count())
         now = time.perf_counter()

@@ -145,6 +145,9 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     # Supervised campaign fabric (repro.harness.supervisor / .store).
     "heartbeat": frozenset({"pid", "tool", "program", "trial", "seq"}),
     "lease_reassign": frozenset({"tool", "program", "trial", "attempt", "kind", "delay"}),
+    # Persistent batched worker pool (repro.harness.pool).
+    "batch_dispatch": frozenset({"pid", "batch", "slices", "budget"}),
+    "worker_recycle": frozenset({"pid", "exitcode", "kind", "unfinished"}),
     "store_compact": frozenset(
         {"path", "segments_before", "segments_after", "records_before", "records_after"}
     ),
@@ -283,6 +286,16 @@ class TelemetryAggregator(TelemetrySink):
     def lease_reassignments(self) -> int:
         """Cells reassigned after a worker crash, hang, or lost lease."""
         return len(self.of_type("lease_reassign"))
+
+    @property
+    def batches_dispatched(self) -> int:
+        """Batches handed to pool workers (pooled engine only)."""
+        return len(self.of_type("batch_dispatch"))
+
+    @property
+    def worker_recycles(self) -> int:
+        """Pool workers respawned after a crash, lost lease, or timeout."""
+        return len(self.of_type("worker_recycle"))
 
     @property
     def total_executions(self) -> int:

@@ -80,6 +80,13 @@ class TestingTool(ABC):
     verify_replays: int = 0
     #: Runtime guardrails attached to every execution (None = unguarded).
     guard: GuardConfig | None = None
+    #: Whether one tool instance may serve many ``find_bug`` calls.  Every
+    #: built-in tool derives all per-search state (RNGs, policies, fuzzers)
+    #: from the call's seed, so pooled workers cache instances across slices
+    #: and allocation rounds.  A custom tool that accumulates cross-call
+    #: state must set this to False; the worker pool then rebuilds it for
+    #: every slice instead of caching it by (tool, program).
+    reusable: bool = True
 
     @abstractmethod
     def find_bug(self, program: Program, budget: int, seed: int) -> BugSearchResult:

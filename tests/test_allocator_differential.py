@@ -162,6 +162,15 @@ class TestLaplaceEngineEquivalence:
         assert supervised.results == laplace_serial.results
         assert supervised.allocation == laplace_serial.allocation
 
+    @pytest.mark.parametrize("start_method", ["fork", "forkserver"])
+    def test_pooled_matches_serial(self, laplace_serial, start_method):
+        engine = ParallelCampaign(
+            LAPLACE_CONFIG, processes=2, engine="pool", start_method=start_method
+        )
+        pooled = engine.run(TOOLS, PROGRAMS)
+        assert pooled.results == laplace_serial.results
+        assert pooled.allocation == laplace_serial.allocation
+
     def test_store_resume_from_complete_store_matches_serial(
         self, laplace_serial, tmp_path
     ):

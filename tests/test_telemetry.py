@@ -146,6 +146,8 @@ class TestValidateRecord:
             "cell_error",
             "worker_start",
             "worker_exit",
+            "worker_recycle",
+            "batch_dispatch",
             "pool_degraded",
             "sanitizer_report",
             "checkpoint",
